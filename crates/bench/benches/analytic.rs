@@ -1,0 +1,37 @@
+//! Criterion: the analytic steady-state estimator — the cost of screening
+//! one configuration in ORACLE's exhaustive profiling.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use clover_core::schedulers::{enumerate_standardized, random_raw_deployment};
+use clover_models::zoo::efficientnet;
+use clover_models::PerfModel;
+use clover_serving::{analytic, Deployment};
+use clover_simkit::SimRng;
+
+fn bench_analytic(c: &mut Criterion) {
+    let fam = efficientnet();
+    let perf = PerfModel::a100();
+    let base = Deployment::base(&fam, 10);
+    let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
+    let rate = cap * 0.65;
+
+    let mut rng = SimRng::new(3);
+    let deployments: Vec<Deployment> = (0..128)
+        .map(|_| random_raw_deployment(&fam, 10, &mut rng))
+        .collect();
+
+    c.bench_function("analytic_estimate_10gpu", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % deployments.len();
+            black_box(analytic::estimate(&fam, &perf, &deployments[i], rate))
+        })
+    });
+
+    c.bench_function("enumerate_standardized_10gpu", |b| {
+        b.iter(|| black_box(enumerate_standardized(&fam, 10).len()))
+    });
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Criterion: one full optimization invocation with an analytic evaluator.
+//!
+//! This doubles as the paper's central ablation (Clover vs Blover): the
+//! same annealer run with graph-space neighbor proposals versus raw-space
+//! uniform random proposals.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use clover_carbon::CarbonIntensity;
+use clover_core::anneal::{anneal, EvalOutcome, SaParams};
+use clover_core::neighbors::NeighborSampler;
+use clover_core::objective::{MeasuredPoint, Objective};
+use clover_core::schedulers::random_raw_deployment;
+use clover_models::zoo::efficientnet;
+use clover_models::PerfModel;
+use clover_serving::{analytic, Deployment};
+use clover_simkit::SimRng;
+
+fn fixture() -> (Objective, f64) {
+    let fam = efficientnet();
+    let perf = PerfModel::a100();
+    let base = Deployment::base(&fam, 10);
+    let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
+    let rate = cap * 0.65;
+    let est = analytic::estimate(&fam, &perf, &base, rate);
+    let c_base = Objective::carbon_per_request_g(
+        est.energy_per_request_j,
+        CarbonIntensity::from_g_per_kwh(250.0),
+    );
+    (
+        Objective::new(fam.accuracy_base(), c_base, est.p95_latency_s * 1.1),
+        rate,
+    )
+}
+
+fn eval_fn(rate: f64) -> impl FnMut(&Deployment) -> EvalOutcome {
+    let fam = efficientnet();
+    let perf = PerfModel::a100();
+    move |d: &Deployment| {
+        let e = analytic::estimate(&fam, &perf, d, rate);
+        EvalOutcome {
+            point: MeasuredPoint {
+                accuracy_pct: e.accuracy_pct,
+                energy_per_request_j: e.energy_per_request_j,
+                p95_latency_s: if e.stable { e.p95_latency_s } else { 1e6 },
+            },
+            cost_s: 10.0,
+        }
+    }
+}
+
+fn bench_anneal(c: &mut Criterion) {
+    let (objective, rate) = fixture();
+    let fam = efficientnet();
+    let ci = CarbonIntensity::from_g_per_kwh(300.0);
+    let params = SaParams::default();
+
+    c.bench_function("sa_invocation_graph_space", |b| {
+        let sampler = NeighborSampler::default();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::new(seed);
+            let fam2 = fam.clone();
+            black_box(anneal(
+                Deployment::base(&fam, 10),
+                &objective,
+                ci,
+                &params,
+                &mut rng,
+                move |center, rng| sampler.sample(&fam2, center, rng),
+                eval_fn(rate),
+            ))
+        })
+    });
+
+    c.bench_function("sa_invocation_raw_space_blover", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut rng = SimRng::new(seed);
+            let fam2 = fam.clone();
+            black_box(anneal(
+                Deployment::base(&fam, 10),
+                &objective,
+                ci,
+                &params,
+                &mut rng,
+                move |_center, rng| Some(random_raw_deployment(&fam2, 10, rng)),
+                eval_fn(rate),
+            ))
+        })
+    });
+
+    c.bench_function("neighbor_sample", |b| {
+        let sampler = NeighborSampler::default();
+        let center = Deployment::base(&fam, 10);
+        let mut rng = SimRng::new(7);
+        b.iter(|| black_box(sampler.sample(&fam, &center, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_anneal);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion: discrete-event serving-simulator throughput — the substrate
+//! cost of every evaluation window and every simulated hour.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use clover_models::zoo::efficientnet;
+use clover_models::PerfModel;
+use clover_serving::{analytic, Deployment, ServingSim};
+use clover_simkit::SimDuration;
+
+fn bench_des(c: &mut Criterion) {
+    let fam = efficientnet();
+    let perf = PerfModel::a100();
+    let base_cap =
+        analytic::estimate(&fam, &perf, &Deployment::base(&fam, 10), 1.0).capacity_rps;
+    let rate = base_cap * 0.65; // same offered load for both deployments
+    let window = SimDuration::from_secs(10.0);
+
+    let mut group = c.benchmark_group("des");
+    for (label, deployment) in [
+        ("base_10gpu", Deployment::base(&fam, 10)),
+        ("co2opt_10gpu", Deployment::co2opt(&fam, 10)),
+    ] {
+        group.throughput(Throughput::Elements((rate * 10.0) as u64));
+        group.bench_function(format!("window_10s_{label}"), |b| {
+            let mut sim = ServingSim::new(fam.clone(), perf, deployment.clone(), 1);
+            b.iter(|| black_box(sim.run_window(rate, window, SimDuration::from_secs(1.0))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_des);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion: slice-census decomposition — the realizability check behind
+//! the configuration-graph compaction.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use clover_mig::{MigConfig, Packer, Partitioning, SliceCensus};
+use clover_simkit::SimRng;
+
+fn bench_feasibility(c: &mut Criterion) {
+    let mut rng = SimRng::new(11);
+    let censuses: Vec<(SliceCensus, usize)> = (0..128)
+        .map(|_| {
+            let n = rng.range_usize(4, 11);
+            let configs: Vec<MigConfig> = (0..n)
+                .map(|_| MigConfig::new(rng.range_usize(1, 20) as u8))
+                .collect();
+            (Partitioning::new(configs).census(), n)
+        })
+        .collect();
+
+    c.bench_function("decompose_feasible_cold", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % censuses.len();
+            let (census, n) = &censuses[i];
+            black_box(Packer::new().decompose(census, *n))
+        })
+    });
+
+    c.bench_function("decompose_feasible_warm", |b| {
+        let mut packer = Packer::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % censuses.len();
+            let (census, n) = &censuses[i];
+            black_box(packer.decompose(census, *n))
+        })
+    });
+}
+
+criterion_group!(benches, bench_feasibility);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion: configuration-graph construction and graph edit distance —
+//! the inner loop of Clover's neighborhood filtering.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use clover_core::graph::ConfigGraph;
+use clover_core::schedulers::random_raw_deployment;
+use clover_models::zoo::efficientnet;
+use clover_serving::Deployment;
+use clover_simkit::SimRng;
+
+fn bench_ged(c: &mut Criterion) {
+    let fam = efficientnet();
+    let mut rng = SimRng::new(42);
+    let deployments: Vec<Deployment> = (0..64)
+        .map(|_| random_raw_deployment(&fam, 10, &mut rng))
+        .collect();
+    let graphs: Vec<ConfigGraph> = deployments
+        .iter()
+        .map(|d| ConfigGraph::from_deployment(&fam, d))
+        .collect();
+
+    c.bench_function("graph_from_deployment_10gpu", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % deployments.len();
+            black_box(ConfigGraph::from_deployment(&fam, &deployments[i]))
+        })
+    });
+
+    c.bench_function("ged_pairwise", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % (graphs.len() - 1);
+            black_box(graphs[i].ged(&graphs[i + 1]))
+        })
+    });
+
+    c.bench_function("graph_add_subtract", |b| {
+        let mut acc = graphs[0].clone();
+        b.iter(|| {
+            acc.add(&graphs[1]);
+            acc.subtract(&graphs[1]);
+            black_box(&acc);
+        })
+    });
+}
+
+criterion_group!(benches, bench_ged);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Ablation: the GED neighborhood threshold.
+//!
+//! The paper fixes the neighborhood radius at GED = 4 ("swapping the model
+//! variant of one service instance incurs two GED and switching a model
+//! copy to a different MIG slice type also incurs two GED"). This ablation
+//! sweeps the threshold to show why: radius 2 restricts the annealer to
+//! single-edge moves (slow drift), while large radii approach random search
+//! and lose the locality that makes warm starts effective.
+
+use clover_bench::header;
+use clover_carbon::CarbonIntensity;
+use clover_core::anneal::{anneal, EvalOutcome, SaParams};
+use clover_core::neighbors::NeighborSampler;
+use clover_core::objective::{MeasuredPoint, Objective};
+use clover_models::zoo::Application;
+use clover_models::PerfModel;
+use clover_serving::{analytic, Deployment};
+use clover_simkit::SimRng;
+
+fn main() {
+    header("Ablation", "GED neighborhood threshold (paper fixes it at 4)");
+    let fam = Application::ImageClassification.family();
+    let perf = PerfModel::a100();
+    let base = Deployment::base(&fam, 10);
+    let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
+    let rate = cap * 0.65;
+    let est = analytic::estimate(&fam, &perf, &base, rate);
+    let ci = CarbonIntensity::from_g_per_kwh(250.0);
+    let c_base = Objective::carbon_per_request_g(est.energy_per_request_j, ci);
+    let objective = Objective::new(fam.accuracy_base(), c_base, est.p95_latency_s * 1.05);
+
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "threshold", "mean best f", "mean evals", "sla-ok best"
+    );
+    for threshold in [2u32, 4, 8, 16, 32] {
+        let sampler = NeighborSampler {
+            ged_threshold: threshold,
+            ..NeighborSampler::default()
+        };
+        let trials = 20;
+        let mut f_sum = 0.0;
+        let mut evals_sum = 0usize;
+        let mut sla_ok = 0usize;
+        for seed in 0..trials {
+            let fam2 = fam.clone();
+            let mut rng = SimRng::new(seed);
+            let run = anneal(
+                base.clone(),
+                &objective,
+                ci,
+                &SaParams::default(),
+                &mut rng,
+                move |center, rng| sampler.sample(&fam2, center, rng),
+                |d: &Deployment| {
+                    let e = analytic::estimate(&fam, &perf, d, rate);
+                    EvalOutcome {
+                        point: MeasuredPoint {
+                            accuracy_pct: e.accuracy_pct,
+                            energy_per_request_j: e.energy_per_request_j,
+                            p95_latency_s: if e.stable { e.p95_latency_s } else { 1e6 },
+                        },
+                        cost_s: 10.0,
+                    }
+                },
+            );
+            f_sum += run.best_f;
+            evals_sum += run.evals.len();
+            if objective.sla_ok(&run.best_point) {
+                sla_ok += 1;
+            }
+        }
+        println!(
+            "{:>10} {:>12.2} {:>12.1} {:>9}/{}",
+            threshold,
+            f_sum / trials as f64,
+            evals_sum as f64 / trials as f64,
+            sla_ok,
+            trials
+        );
+    }
+    println!();
+    println!("(one cold-start invocation per trial; larger radii trade locality for reach)");
+}

@@ -1,0 +1,32 @@
+//! §5.2.1: the physical significance of Clover's savings — the paper's
+//! back-of-the-envelope translation to kilograms of CO₂ per day, gasoline
+//! car kilometres, and kilograms of coal.
+
+use clover_bench::{header, run_std};
+use clover_carbon::estimate::SavingsEstimate;
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+
+fn main() {
+    header("Sec. 5.2.1", "Back-of-the-envelope savings estimate");
+    println!("Paper scenario (6.77e-3 gCO2/request, 25M inferences/day):");
+    let paper = SavingsEstimate::paper_scenario();
+    print_estimate(&paper);
+    println!("(paper: ~170 kg CO2/day, ~680 km gasoline car, ~85 kg coal)");
+    println!();
+
+    println!("Measured from this reproduction (Clover vs BASE, Classification):");
+    let out = run_std(Application::ImageClassification, SchemeKind::Clover);
+    let measured = SavingsEstimate::from_per_request(out.saving_g_per_request.max(0.0), 25e6);
+    println!(
+        "  measured saving: {:.3e} gCO2/request ({:.1}% of BASE)",
+        out.saving_g_per_request, out.carbon_saving_pct
+    );
+    print_estimate(&measured);
+}
+
+fn print_estimate(e: &SavingsEstimate) {
+    println!("  daily CO2 saved:     {:>10.1} kg", e.daily_saving_kg);
+    println!("  gasoline-car travel: {:>10.1} km", e.gasoline_car_km);
+    println!("  coal not burned:     {:>10.1} kg", e.coal_kg);
+}

@@ -1,0 +1,17 @@
+//! Fig. 1: the 19 MIG configurations of an A100-class GPU.
+
+use clover_bench::header;
+use clover_mig::MigConfig;
+
+fn main() {
+    header("Fig. 1", "Multi-Instance GPU configurations (5 slice types)");
+    for c in MigConfig::all() {
+        println!(
+            "  config {:>2}: {:<28} slices={}  units={}/7",
+            c.id(),
+            c.census().to_string(),
+            c.num_slices(),
+            c.total_units()
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! Fig. 4: hourly carbon intensity over a 14-day span from the two grid
+//! operators (CISO and ESO), March and September.
+
+use clover_bench::header;
+use clover_carbon::Region;
+use clover_simkit::{SimDuration, SimTime};
+
+fn main() {
+    header(
+        "Fig. 4",
+        "14-day hourly carbon intensity, CISO and ESO (synthetic reproduction)",
+    );
+    for region in Region::ALL {
+        let t = region.motivation_trace(2021);
+        println!(
+            "{:<22} min={:6.1}  mean={:6.1}  max={:6.1}  max 12h swing={:6.1} gCO2/kWh",
+            region.to_string(),
+            t.min().g_per_kwh(),
+            t.mean().g_per_kwh(),
+            t.max().g_per_kwh(),
+            t.max_swing_within(SimDuration::from_hours(12.0))
+        );
+    }
+    println!();
+    println!("First 48 hours, sampled every 4 h (gCO2/kWh):");
+    print!("{:>6}", "hour");
+    for region in Region::ALL {
+        print!(" {:>22}", region.to_string());
+    }
+    println!();
+    for h in (0..=48).step_by(4) {
+        print!("{h:>6}");
+        for region in Region::ALL {
+            let t = region.motivation_trace(2021);
+            print!(" {:>22.1}", t.at(SimTime::from_hours(h as f64)).g_per_kwh());
+        }
+        println!();
+    }
+    println!();
+    println!("(paper observation: intensity varies by >200 gCO2/kWh within half a day)");
+}

@@ -1,0 +1,42 @@
+//! Fig. 6: the worked example of carbon-intensity-dependent configuration
+//! preference (λ = 0.1, C_base = 1000).
+//!
+//! Note: the paper's figure prints f(B, ci=500) = 3.2, but Eq. 3 evaluates
+//! to 0.1·40 + 0.9·(−2) = 2.2; we print the formula's value (the preference
+//! ordering is unchanged).
+
+use clover_bench::header;
+use clover_carbon::CarbonIntensity;
+use clover_core::objective::{MeasuredPoint, Objective};
+
+fn main() {
+    header("Fig. 6", "Configuration preference flips with carbon intensity");
+    let objective = Objective::new(100.0, 1000.0, 1.0).with_lambda(0.1);
+    let configs = [
+        ("A", 0.4, -4.0), // E in kWh/request, ΔAccuracy in percent
+        ("B", 1.2, -2.0),
+    ];
+    for ci_val in [500.0, 100.0] {
+        let ci = CarbonIntensity::from_g_per_kwh(ci_val);
+        println!("carbon intensity = {ci_val} gCO2/kWh:");
+        let mut best = ("?", f64::NEG_INFINITY);
+        for (name, e_kwh, dacc) in configs {
+            let point = MeasuredPoint {
+                accuracy_pct: 100.0 + dacc,
+                energy_per_request_j: e_kwh * 3.6e6,
+                p95_latency_s: 0.5,
+            };
+            let dc = objective.delta_carbon_pct(point.energy_per_request_j, ci);
+            let f = objective.f(&point, ci);
+            println!(
+                "  config {name}: E={e_kwh} kWh/req  dCarbon={dc:6.1}%  dAccuracy={dacc:5.1}%  f={f:5.2}"
+            );
+            if f > best.1 {
+                best = (name, f);
+            }
+        }
+        println!("  -> preferred: config {}", best.0);
+        println!();
+    }
+    println!("(paper: A preferred at ci=500, B preferred at ci=100)");
+}

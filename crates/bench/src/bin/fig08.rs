@@ -1,0 +1,32 @@
+//! Fig. 8: the representative 48-hour carbon-intensity traces used in the
+//! evaluation (US CISO March, US CISO September, UK ESO March).
+
+use clover_bench::header;
+use clover_carbon::Region;
+use clover_simkit::SimTime;
+
+fn main() {
+    header("Fig. 8", "48-hour evaluation traces (synthetic reproduction)");
+    print!("{:>6}", "hour");
+    for region in Region::ALL {
+        print!(" {:>22}", region.to_string());
+    }
+    println!();
+    let traces: Vec<_> = Region::ALL.iter().map(|r| r.eval_trace(2023)).collect();
+    for h in 0..=48 {
+        print!("{h:>6}");
+        for t in &traces {
+            print!(" {:>22.1}", t.at(SimTime::from_hours(h as f64)).g_per_kwh());
+        }
+        println!();
+    }
+    println!();
+    for (region, t) in Region::ALL.iter().zip(traces.iter()) {
+        println!(
+            "{:<22} range {:6.1} .. {:6.1} gCO2/kWh",
+            region.to_string(),
+            t.min().g_per_kwh(),
+            t.max().g_per_kwh()
+        );
+    }
+}

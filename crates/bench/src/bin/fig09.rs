@@ -1,0 +1,40 @@
+//! Fig. 9: Clover's effectiveness vs BASE — accuracy loss, carbon
+//! reduction, and normalized SLA (p95) latency, per application and
+//! overall, over 48 h of the US CISO March trace.
+//!
+//! Paper claims to reproduce: >75% carbon saving per application at 2-4%
+//! accuracy loss (~80% / ~3% overall), with p95 at or below BASE.
+
+use clover_bench::{header, run_std};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+
+fn main() {
+    header("Fig. 9", "Clover vs BASE: accuracy, carbon, SLA (CISO March, 48 h)");
+    println!(
+        "{:<16} {:>14} {:>14} {:>18}",
+        "application", "acc loss (%)", "carbon red. (%)", "p95 (norm. BASE)"
+    );
+    let mut loss_sum = 0.0;
+    let mut save_sum = 0.0;
+    let mut p95_sum = 0.0;
+    for app in Application::ALL {
+        let out = run_std(app, SchemeKind::Clover);
+        println!(
+            "{:<16} {:>14.2} {:>14.1} {:>18.2}",
+            out.app, out.accuracy_loss_pct, out.carbon_saving_pct, out.p95_norm_to_base
+        );
+        loss_sum += out.accuracy_loss_pct;
+        save_sum += out.carbon_saving_pct;
+        p95_sum += out.p95_norm_to_base;
+    }
+    println!(
+        "{:<16} {:>14.2} {:>14.1} {:>18.2}",
+        "Overall",
+        loss_sum / 3.0,
+        save_sum / 3.0,
+        p95_sum / 3.0
+    );
+    println!();
+    println!("(paper: >75% carbon saving per app, 2-4% accuracy loss, p95 <= BASE)");
+}

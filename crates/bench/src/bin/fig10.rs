@@ -1,0 +1,42 @@
+//! Fig. 10: scheme comparison — carbon saved vs accuracy gain (both
+//! relative to BASE) for CO2OPT, BLOVER, CLOVER and ORACLE, per
+//! application.
+//!
+//! Paper claims to reproduce: CO2OPT saves the most carbon with the lowest
+//! accuracy; CLOVER sits closest to ORACLE and dominates BLOVER; CLOVER is
+//! within ~5% of optimal carbon savings.
+
+use clover_bench::{header, outcome_row, run_std};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+
+fn main() {
+    header(
+        "Fig. 10",
+        "Scheme comparison: carbon save vs accuracy gain (CISO March, 48 h)",
+    );
+    for app in Application::ALL {
+        println!("--- {} ---", app.label());
+        let mut clover_save = 0.0;
+        let mut oracle_save = 0.0;
+        for scheme in [
+            SchemeKind::Co2Opt,
+            SchemeKind::Blover,
+            SchemeKind::Clover,
+            SchemeKind::Oracle,
+        ] {
+            let out = run_std(app, scheme);
+            outcome_row(&out);
+            match scheme {
+                SchemeKind::Clover => clover_save = out.carbon_saving_pct,
+                SchemeKind::Oracle => oracle_save = out.carbon_saving_pct,
+                _ => {}
+            }
+        }
+        println!(
+            "    CLOVER vs ORACLE carbon gap: {:.1} pp (paper: within ~5%)",
+            oracle_save - clover_save
+        );
+        println!();
+    }
+}

@@ -1,0 +1,55 @@
+//! Fig. 13: what Clover's optimizer explores — the configurations
+//! evaluated during the first, second, and last invocations, with their
+//! carbon saving, accuracy gain and SLA compliance.
+//!
+//! Paper claims to reproduce: invocation I starts blind and most of its
+//! evaluations violate the SLA; invocation II starts from I's best and is
+//! mostly SLA-compliant; the last invocation converges in a handful of
+//! evaluations, all SLA-compliant.
+
+use clover_bench::{header, run_std};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+
+fn main() {
+    header("Fig. 13", "Configurations evaluated per invocation (Classification)");
+    let out = run_std(Application::ImageClassification, SchemeKind::Clover);
+    let n = out.invocations.len();
+    assert!(n >= 2, "need at least two invocations, got {n}");
+    let picks = [
+        ("Invocation I", 0),
+        ("Invocation II", 1),
+        ("Last invocation", n - 1),
+    ];
+    for (label, idx) in picks {
+        let inv = &out.invocations[idx];
+        println!("{label} (t = {:.0} h, {:.0} s spent):", inv.at_hours, inv.time_spent_s);
+        println!(
+            "  {:>3} {:>14} {:>12} {:>6} {:>9}",
+            "ord", "carbon_save%", "acc_gain%", "SLA", "accepted"
+        );
+        for e in &inv.evals {
+            println!(
+                "  {:>3} {:>14.1} {:>12.2} {:>6} {:>9}",
+                e.order,
+                e.delta_carbon_pct,
+                e.delta_accuracy_pct,
+                if e.sla_ok { "ok" } else { "VIOL" },
+                if e.accepted { "yes" } else { "no" }
+            );
+        }
+        let ok = inv.evals.iter().filter(|e| e.sla_ok).count();
+        println!(
+            "  -> {}/{} SLA-compliant evaluations",
+            ok,
+            inv.evals.len()
+        );
+        println!();
+    }
+    println!(
+        "evaluations: first={} second={} last={} (paper: later invocations need fewer)",
+        out.invocations[0].evals.len(),
+        out.invocations[1].evals.len(),
+        out.invocations[n - 1].evals.len()
+    );
+}

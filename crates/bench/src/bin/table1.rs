@@ -1,0 +1,28 @@
+//! Table 1: the machine-learning inference applications.
+
+use clover_bench::header;
+use clover_models::zoo::{table1, Application};
+
+fn main() {
+    header("Table 1", "Machine learning inference applications");
+    for row in table1() {
+        println!("{row}");
+    }
+    println!();
+    println!("Variant details (published numbers):");
+    for app in Application::ALL {
+        let fam = app.family();
+        println!("  {} ({} on {}):", app.label(), fam.architecture, fam.dataset);
+        for v in &fam.variants {
+            println!(
+                "    {:<20} params={:7.1}M  gflops={:7.1}  {}={:5.1}%  mem={:4.1}GB",
+                v.name,
+                v.params_m,
+                v.gflops,
+                fam.metric,
+                v.accuracy_pct,
+                v.memory_gb()
+            );
+        }
+    }
+}

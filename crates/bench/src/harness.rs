@@ -1,0 +1,64 @@
+//! Common scaffolding for the figure-regeneration binaries.
+//!
+//! Every figure/table of the paper has a binary in `src/bin/`; they share
+//! the experiment plumbing here. The environment variable
+//! `CLOVER_BENCH_SCALE` (default 1.0) scales the simulated horizon so smoke
+//! runs finish quickly; EXPERIMENTS.md records full-scale (48 h) runs.
+
+use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover_core::schedulers::SchemeKind;
+use clover_carbon::Region;
+use clover_models::zoo::Application;
+
+/// Prints a figure/table header in a uniform style.
+pub fn header(id: &str, caption: &str) {
+    println!("================================================================");
+    println!("{id}: {caption}");
+    println!("================================================================");
+}
+
+/// Prints one outcome as a comparison row (Fig. 9/10/16 style).
+pub fn outcome_row(out: &ExperimentOutcome) {
+    println!(
+        "{:<8} {:<14} carbon_save={:6.1}%  acc_gain={:6.2}%  p95/base={:5.2}  sla={}  opt={:4.2}%",
+        out.scheme,
+        out.app,
+        out.carbon_saving_pct,
+        out.accuracy_gain_pct,
+        out.p95_norm_to_base,
+        if out.sla_met { "ok " } else { "VIOL" },
+        out.optimization_fraction * 100.0
+    );
+}
+
+/// Reads the benchmark scale from `CLOVER_BENCH_SCALE` (1 = paper scale).
+/// Smaller values shrink the horizon for smoke runs.
+pub fn bench_scale() -> f64 {
+    std::env::var("CLOVER_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0.0 && v <= 1.0)
+        .unwrap_or(1.0)
+}
+
+/// Horizon in hours after scaling (paper: 48 h; floor 6 h).
+pub fn scaled_horizon() -> f64 {
+    (48.0 * bench_scale()).max(6.0)
+}
+
+/// The standard evaluation experiment of Sec. 5.1: 10 GPUs, λ = 0.5,
+/// US CISO March trace, 48 h (scaled), fixed master seed.
+pub fn std_config(app: Application, scheme: SchemeKind) -> ExperimentConfig {
+    ExperimentConfig::builder(app)
+        .scheme(scheme)
+        .region(Region::CisoMarch)
+        .n_gpus(10)
+        .horizon_hours(scaled_horizon())
+        .seed(2023)
+        .build()
+}
+
+/// Builds and runs the standard experiment.
+pub fn run_std(app: Application, scheme: SchemeKind) -> ExperimentOutcome {
+    Experiment::new(std_config(app, scheme)).run()
+}

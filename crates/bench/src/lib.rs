@@ -1,0 +1,11 @@
+//! # clover-bench
+//!
+//! Shared helpers for the benchmark harness binaries (one per table/figure
+//! of the paper) and the criterion micro-benchmarks. See `src/bin/` for the
+//! per-figure targets and `benches/` for the hot-path benchmarks.
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,216 @@
+//! Energy-to-carbon accounting: the simulated counterpart of the paper's
+//! modified `carbontracker` service.
+//!
+//! A [`CarbonLedger`] integrates device power over simulated time against a
+//! time-varying [`CarbonTrace`], applying a datacenter power usage
+//! effectiveness (PUE) multiplier. The paper evaluates with a constant
+//! PUE of 1.5 (Sec. 5.1) and reports all benefits relative to a baseline so
+//! they do not depend on the PUE choice.
+
+use crate::intensity::{CarbonIntensity, CarbonMass, Energy};
+use crate::trace::CarbonTrace;
+use clover_simkit::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Datacenter power usage effectiveness: total facility power divided by IT
+/// power. Always ≥ 1.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pue(f64);
+
+impl Pue {
+    /// The paper's evaluation value (Uptime Institute 2022 survey).
+    pub const PAPER_DEFAULT: Pue = Pue(1.5);
+
+    /// Creates a PUE.
+    ///
+    /// # Panics
+    /// Panics if below 1 or non-finite.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v >= 1.0, "invalid PUE: {v}");
+        Pue(v)
+    }
+
+    /// The multiplier value.
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Facility energy for a given IT energy.
+    pub fn facility_energy(self, it_energy: Energy) -> Energy {
+        it_energy * self.0
+    }
+}
+
+impl Default for Pue {
+    fn default() -> Self {
+        Pue::PAPER_DEFAULT
+    }
+}
+
+/// Integrates energy consumption against a carbon-intensity trace.
+///
+/// Use [`CarbonLedger::record_power`] for power held constant over an
+/// interval (it splits the interval at trace sample boundaries so intensity
+/// changes mid-interval are accounted exactly), or
+/// [`CarbonLedger::record_energy_at`] for instantaneous charges.
+#[derive(Debug, Clone)]
+pub struct CarbonLedger {
+    trace: CarbonTrace,
+    pue: Pue,
+    it_energy: Energy,
+    facility_energy: Energy,
+    carbon: CarbonMass,
+}
+
+impl CarbonLedger {
+    /// Creates a ledger over `trace` with the given PUE.
+    pub fn new(trace: CarbonTrace, pue: Pue) -> Self {
+        CarbonLedger {
+            trace,
+            pue,
+            it_energy: Energy::ZERO,
+            facility_energy: Energy::ZERO,
+            carbon: CarbonMass::ZERO,
+        }
+    }
+
+    /// Charges `it_watts` of IT power held constant over `[from, from+dur]`,
+    /// splitting at trace boundaries so each segment uses its own intensity.
+    pub fn record_power(&mut self, from: SimTime, dur: SimDuration, it_watts: f64) {
+        assert!(it_watts >= 0.0, "negative power");
+        if dur.is_zero() || it_watts == 0.0 {
+            return;
+        }
+        let step = self.trace.step().as_secs();
+        let start = from.as_secs();
+        let end = start + dur.as_secs();
+        let mut cursor = start;
+        while cursor < end {
+            // Next trace boundary strictly after `cursor`.
+            let boundary = ((cursor / step).floor() + 1.0) * step;
+            let seg_end = boundary.min(end);
+            let seg = SimDuration::from_secs(seg_end - cursor);
+            let it = Energy::from_power(it_watts, seg);
+            let facility = self.pue.facility_energy(it);
+            let ci = self.trace.at(SimTime::from_secs(cursor));
+            self.it_energy += it;
+            self.facility_energy += facility;
+            self.carbon += facility * ci;
+            cursor = seg_end;
+        }
+    }
+
+    /// Charges a lump of IT energy at a single instant, using the intensity
+    /// published at that instant.
+    pub fn record_energy_at(&mut self, at: SimTime, it: Energy) {
+        let facility = self.pue.facility_energy(it);
+        let ci = self.trace.at(at);
+        self.it_energy += it;
+        self.facility_energy += facility;
+        self.carbon += facility * ci;
+    }
+
+    /// Total IT (device) energy recorded.
+    pub fn it_energy(&self) -> Energy {
+        self.it_energy
+    }
+
+    /// Total facility energy (IT × PUE).
+    pub fn facility_energy(&self) -> Energy {
+        self.facility_energy
+    }
+
+    /// Total carbon emitted.
+    pub fn carbon(&self) -> CarbonMass {
+        self.carbon
+    }
+
+    /// The PUE in force.
+    pub fn pue(&self) -> Pue {
+        self.pue
+    }
+
+    /// Intensity at `now`, for convenience.
+    pub fn intensity_at(&self, now: SimTime) -> CarbonIntensity {
+        self.trace.at(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pue_validation_and_factor() {
+        assert_eq!(Pue::new(1.5).factor(), 1.5);
+        assert_eq!(Pue::default(), Pue::PAPER_DEFAULT);
+        let it = Energy::from_kwh(2.0);
+        assert!((Pue::new(1.5).facility_energy(it).kwh() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn pue_below_one_rejected() {
+        let _ = Pue::new(0.9);
+    }
+
+    #[test]
+    fn constant_intensity_power_integration() {
+        let trace = CarbonTrace::hourly([200.0, 200.0, 200.0]);
+        let mut ledger = CarbonLedger::new(trace, Pue::new(1.5));
+        // 1000 W for 1 h = 1 kWh IT = 1.5 kWh facility = 300 g.
+        ledger.record_power(SimTime::ZERO, SimDuration::from_hours(1.0), 1000.0);
+        assert!((ledger.it_energy().kwh() - 1.0).abs() < 1e-9);
+        assert!((ledger.facility_energy().kwh() - 1.5).abs() < 1e-9);
+        assert!((ledger.carbon().grams() - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn interval_split_at_trace_boundary() {
+        // Intensity doubles at hour 1; an interval straddling the boundary
+        // must charge each half at its own intensity.
+        let trace = CarbonTrace::hourly([100.0, 300.0]);
+        let mut ledger = CarbonLedger::new(trace, Pue::new(1.0));
+        ledger.record_power(
+            SimTime::from_hours(0.5),
+            SimDuration::from_hours(1.0),
+            1000.0,
+        );
+        // 0.5 kWh @ 100 + 0.5 kWh @ 300 = 50 + 150 = 200 g.
+        assert!((ledger.carbon().grams() - 200.0).abs() < 1e-6, "{}", ledger.carbon());
+    }
+
+    #[test]
+    fn lump_energy_uses_instant_intensity() {
+        let trace = CarbonTrace::hourly([100.0, 400.0]);
+        let mut ledger = CarbonLedger::new(trace, Pue::new(1.0));
+        ledger.record_energy_at(SimTime::from_hours(1.5), Energy::from_kwh(0.25));
+        assert!((ledger.carbon().grams() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_power_or_duration_is_noop() {
+        let trace = CarbonTrace::hourly([100.0]);
+        let mut ledger = CarbonLedger::new(trace, Pue::default());
+        ledger.record_power(SimTime::ZERO, SimDuration::ZERO, 500.0);
+        ledger.record_power(SimTime::ZERO, SimDuration::from_hours(1.0), 0.0);
+        assert_eq!(ledger.carbon(), CarbonMass::ZERO);
+        assert_eq!(ledger.it_energy(), Energy::ZERO);
+    }
+
+    #[test]
+    fn split_and_whole_agree_under_constant_intensity() {
+        let trace = CarbonTrace::hourly(vec![250.0; 10]);
+        let mut a = CarbonLedger::new(trace.clone(), Pue::new(1.5));
+        let mut b = CarbonLedger::new(trace, Pue::new(1.5));
+        a.record_power(SimTime::ZERO, SimDuration::from_hours(5.0), 123.0);
+        for h in 0..5 {
+            b.record_power(
+                SimTime::from_hours(h as f64),
+                SimDuration::from_hours(1.0),
+                123.0,
+            );
+        }
+        assert!((a.carbon().grams() - b.carbon().grams()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,173 @@
+//! The Clover controller's carbon-intensity monitor.
+//!
+//! The paper (Sec. 4.3, Fig. 5): the controller "monitor[s] the real-time
+//! carbon intensity from the local grid and initiat[es] its optimization
+//! process as a reaction to changes in carbon intensity", re-invoking
+//! optimization "whenever Clover detects more than a 5% change in the carbon
+//! intensity compared to the previous optimization run" (Sec. 5.2.2).
+//!
+//! [`CarbonMonitor`] wraps a trace with exactly that hysteresis: `observe`
+//! reports the current intensity and whether it has drifted beyond the
+//! threshold since the last acknowledged optimization.
+
+use crate::intensity::CarbonIntensity;
+use crate::trace::CarbonTrace;
+use clover_simkit::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// What the monitor reports on each observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorEvent {
+    /// The intensity observed now.
+    pub current: CarbonIntensity,
+    /// The intensity at the last acknowledged optimization.
+    pub reference: CarbonIntensity,
+    /// Relative drift from the reference (fraction, e.g. 0.07 = 7%).
+    pub drift: f64,
+    /// True when drift exceeds the configured threshold and a new
+    /// optimization should be invoked.
+    pub triggered: bool,
+}
+
+/// Watches a carbon trace and flags drifts beyond a relative threshold.
+#[derive(Debug, Clone)]
+pub struct CarbonMonitor {
+    trace: CarbonTrace,
+    threshold: f64,
+    reference: CarbonIntensity,
+}
+
+impl CarbonMonitor {
+    /// The paper's default re-invocation threshold: 5%.
+    pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+    /// Creates a monitor over `trace` with the given relative threshold.
+    /// The initial reference is the intensity at t = 0.
+    pub fn new(trace: CarbonTrace, threshold: f64) -> Self {
+        assert!(threshold >= 0.0, "negative threshold");
+        let reference = trace.at(SimTime::ZERO);
+        CarbonMonitor {
+            trace,
+            threshold,
+            reference,
+        }
+    }
+
+    /// Creates a monitor with the paper's 5% threshold.
+    pub fn with_default_threshold(trace: CarbonTrace) -> Self {
+        Self::new(trace, Self::DEFAULT_THRESHOLD)
+    }
+
+    /// Current intensity at `now` (stepwise, as published by the grid).
+    pub fn intensity_at(&self, now: SimTime) -> CarbonIntensity {
+        self.trace.at(now)
+    }
+
+    /// Observes the grid at `now`.
+    pub fn observe(&self, now: SimTime) -> MonitorEvent {
+        let current = self.trace.at(now);
+        let drift = current.relative_change_from(self.reference);
+        MonitorEvent {
+            current,
+            reference: self.reference,
+            drift,
+            triggered: drift > self.threshold,
+        }
+    }
+
+    /// Acknowledges that an optimization ran at intensity `ci`; future drift
+    /// is measured from this value.
+    pub fn acknowledge(&mut self, ci: CarbonIntensity) {
+        self.reference = ci;
+    }
+
+    /// The underlying trace.
+    pub fn trace(&self) -> &CarbonTrace {
+        &self.trace
+    }
+
+    /// The configured relative threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Times (sample boundaries) at which observation would trigger,
+    /// assuming each trigger is acknowledged immediately. Useful for
+    /// estimating how many optimizations a trace induces.
+    pub fn trigger_times(&self) -> Vec<SimTime> {
+        let mut reference = self.trace.at(SimTime::ZERO);
+        let mut out = Vec::new();
+        for (t, ci) in self.trace.samples() {
+            if ci.relative_change_from(reference) > self.threshold {
+                out.push(t);
+                reference = ci;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::Region;
+
+    fn trace() -> CarbonTrace {
+        CarbonTrace::hourly([100.0, 103.0, 110.0, 108.0, 90.0])
+    }
+
+    #[test]
+    fn small_drift_does_not_trigger() {
+        let m = CarbonMonitor::with_default_threshold(trace());
+        let ev = m.observe(SimTime::from_hours(1.0));
+        assert!(!ev.triggered);
+        assert!((ev.drift - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_drift_triggers() {
+        let m = CarbonMonitor::with_default_threshold(trace());
+        let ev = m.observe(SimTime::from_hours(2.0));
+        assert!(ev.triggered);
+        assert_eq!(ev.current.g_per_kwh(), 110.0);
+        assert_eq!(ev.reference.g_per_kwh(), 100.0);
+    }
+
+    #[test]
+    fn acknowledge_resets_reference() {
+        let mut m = CarbonMonitor::with_default_threshold(trace());
+        let ev = m.observe(SimTime::from_hours(2.0));
+        assert!(ev.triggered);
+        m.acknowledge(ev.current);
+        // 108 vs 110 is under 5%.
+        assert!(!m.observe(SimTime::from_hours(3.0)).triggered);
+        // 90 vs 110 is over 5%.
+        assert!(m.observe(SimTime::from_hours(4.0)).triggered);
+    }
+
+    #[test]
+    fn trigger_times_walk_the_trace() {
+        let m = CarbonMonitor::with_default_threshold(trace());
+        let hits = m.trigger_times();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].as_hours(), 2.0);
+        assert_eq!(hits[1].as_hours(), 4.0);
+    }
+
+    #[test]
+    fn realistic_trace_triggers_repeatedly() {
+        let t = Region::CisoMarch.eval_trace(42);
+        let m = CarbonMonitor::with_default_threshold(t);
+        let hits = m.trigger_times();
+        // A 48 h duck-curve trace should force many re-optimizations but not
+        // one per hour.
+        assert!(hits.len() >= 10, "only {} triggers", hits.len());
+        assert!(hits.len() <= 48, "{} triggers", hits.len());
+    }
+
+    #[test]
+    fn zero_threshold_triggers_on_any_change() {
+        let m = CarbonMonitor::new(trace(), 0.0);
+        assert!(m.observe(SimTime::from_hours(1.0)).triggered);
+    }
+}

@@ -1,0 +1,670 @@
+//! The end-to-end experiment runtime (paper Sec. 5.1).
+//!
+//! An [`Experiment`] reproduces one cell of the paper's evaluation matrix:
+//! one application, one scheme, one carbon trace, one λ, over a simulated
+//! horizon (48 hours by default). It drives the full control loop of Fig. 5:
+//!
+//! 1. derive the workload (Poisson rate at which the BASE deployment is
+//!    neither starved nor idle) and the SLA (the BASE deployment's measured
+//!    p95, which is *not* relaxed when GPUs get partitioned);
+//! 2. each hour, observe the grid; if intensity drifted more than 5% since
+//!    the last optimization (or at start-up), invoke the scheme's scheduler
+//!    — its live evaluation windows and reconfiguration downtime are charged
+//!    and their traffic folded into the results, exactly as the paper
+//!    includes optimization overhead in all reported numbers;
+//! 3. serve a representative window of the hour with the chosen
+//!    configuration and extrapolate counters to the full hour (the system is
+//!    stationary within an hour because the trace is hourly);
+//! 4. account energy → carbon through the time-varying trace at PUE 1.5.
+//!
+//! A synchronized BASE run over the same trace and seeds provides the
+//! reference for carbon savings, accuracy loss, and normalized SLA latency.
+
+use crate::anneal::{EvalRecord, SaParams};
+use crate::eval::DesEvaluator;
+use crate::objective::{MeasuredPoint, Objective};
+use crate::schedulers::{make_scheduler, SchedulerCtx, SchemeKind};
+use clover_carbon::{CarbonIntensity, CarbonLedger, CarbonMonitor, CarbonTrace, Energy, Pue, Region};
+use clover_models::{ModelFamily, PerfModel};
+use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
+use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
+use clover_models::zoo::Application;
+use serde::{Deserialize, Serialize};
+
+/// Where the carbon intensity comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TraceSource {
+    /// A synthetic regional trace (Fig. 8).
+    Region(Region),
+    /// A constant intensity (used by Fig. 2/3/14a-style experiments).
+    Constant(f64),
+}
+
+/// Full specification of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Application under test.
+    pub app: Application,
+    /// Scheduling scheme.
+    pub scheme: SchemeKind,
+    /// Carbon-intensity source.
+    pub trace: TraceSource,
+    /// GPUs provisioned to the service.
+    pub n_gpus: usize,
+    /// GPUs used to derive the workload rate and SLA (stays at the paper's
+    /// 10 when provisioning is reduced, Fig. 15).
+    pub reference_gpus: usize,
+    /// Simulated horizon, hours.
+    pub horizon_hours: f64,
+    /// Objective weight λ.
+    pub lambda: f64,
+    /// Optional accuracy-loss ceiling, percent (Fig. 14b).
+    pub accuracy_floor_pct: Option<f64>,
+    /// BASE utilization the Poisson rate is tuned to.
+    pub utilization_target: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Representative serving window simulated per hour, seconds.
+    pub sim_window_s: f64,
+    /// SLA headroom multiplier over the measured BASE p95.
+    pub sla_headroom: f64,
+    /// Carbon-monitor re-optimization threshold (paper: 5%).
+    pub monitor_threshold: f64,
+    /// Simulated-annealing parameters.
+    pub sa: SaParams,
+}
+
+impl ExperimentConfig {
+    /// Starts a builder with the paper's defaults for `app`.
+    pub fn builder(app: Application) -> ExperimentConfigBuilder {
+        ExperimentConfigBuilder {
+            cfg: ExperimentConfig {
+                app,
+                scheme: SchemeKind::Clover,
+                trace: TraceSource::Region(Region::CisoMarch),
+                n_gpus: 10,
+                reference_gpus: 0, // 0 = follow n_gpus
+                horizon_hours: 48.0,
+                lambda: 0.5,
+                accuracy_floor_pct: None,
+                utilization_target: 0.65,
+                seed: 42,
+                sim_window_s: 240.0,
+                sla_headroom: 1.05,
+                monitor_threshold: CarbonMonitor::DEFAULT_THRESHOLD,
+                sa: SaParams::default(),
+            },
+        }
+    }
+}
+
+/// Builder for [`ExperimentConfig`].
+pub struct ExperimentConfigBuilder {
+    cfg: ExperimentConfig,
+}
+
+impl ExperimentConfigBuilder {
+    /// Sets the scheme.
+    pub fn scheme(mut self, s: SchemeKind) -> Self {
+        self.cfg.scheme = s;
+        self
+    }
+
+    /// Uses a regional trace.
+    pub fn region(mut self, r: Region) -> Self {
+        self.cfg.trace = TraceSource::Region(r);
+        self
+    }
+
+    /// Uses a constant carbon intensity (gCO₂/kWh).
+    pub fn constant_ci(mut self, g_per_kwh: f64) -> Self {
+        self.cfg.trace = TraceSource::Constant(g_per_kwh);
+        self
+    }
+
+    /// Sets provisioned GPUs.
+    pub fn n_gpus(mut self, n: usize) -> Self {
+        self.cfg.n_gpus = n;
+        self
+    }
+
+    /// Sets the reference GPU count for rate/SLA derivation.
+    pub fn reference_gpus(mut self, n: usize) -> Self {
+        self.cfg.reference_gpus = n;
+        self
+    }
+
+    /// Sets the horizon in hours.
+    pub fn horizon_hours(mut self, h: f64) -> Self {
+        self.cfg.horizon_hours = h;
+        self
+    }
+
+    /// Sets λ.
+    pub fn lambda(mut self, l: f64) -> Self {
+        self.cfg.lambda = l;
+        self
+    }
+
+    /// Sets the accuracy-loss ceiling (percent).
+    pub fn accuracy_floor(mut self, pct: f64) -> Self {
+        self.cfg.accuracy_floor_pct = Some(pct);
+        self
+    }
+
+    /// Sets the BASE utilization target.
+    pub fn utilization(mut self, u: f64) -> Self {
+        self.cfg.utilization_target = u;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Sets the per-hour representative window (seconds).
+    pub fn sim_window_s(mut self, s: f64) -> Self {
+        self.cfg.sim_window_s = s;
+        self
+    }
+
+    /// Sets SA parameters.
+    pub fn sa(mut self, sa: SaParams) -> Self {
+        self.cfg.sa = sa;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(mut self) -> ExperimentConfig {
+        if self.cfg.reference_gpus == 0 {
+            self.cfg.reference_gpus = self.cfg.n_gpus;
+        }
+        assert!(self.cfg.n_gpus > 0 && self.cfg.horizon_hours > 0.0);
+        self.cfg
+    }
+}
+
+/// One hour of the run timeline (Fig. 11's series).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HourPoint {
+    /// Hour index from the start of the trace.
+    pub hour: u32,
+    /// Carbon intensity during the hour, gCO₂/kWh.
+    pub ci_g_per_kwh: f64,
+    /// The objective `f` of the active configuration at this intensity.
+    pub objective_f: f64,
+    /// Mixture accuracy served this hour, percent.
+    pub accuracy_pct: f64,
+    /// Hour p95 latency, seconds.
+    pub p95_s: f64,
+    /// IT energy per request this hour, joules.
+    pub energy_per_request_j: f64,
+    /// Eq. 2 carbon reduction of this hour's configuration, percent.
+    pub carbon_save_pct: f64,
+}
+
+/// One optimization invocation (Figs. 12–13).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct InvocationRecord {
+    /// Trace time of the invocation, hours.
+    pub at_hours: f64,
+    /// Live time spent evaluating (plus reconfiguring), seconds.
+    pub time_spent_s: f64,
+    /// Every configuration evaluated.
+    pub evals: Vec<EvalRecord>,
+}
+
+/// Aggregated result of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// Scheme label.
+    pub scheme: String,
+    /// Application label.
+    pub app: String,
+    /// Trace label.
+    pub trace: String,
+    /// Provisioned GPUs.
+    pub n_gpus: usize,
+    /// λ used.
+    pub lambda: f64,
+    /// Horizon, hours.
+    pub horizon_hours: f64,
+    /// Offered Poisson rate, req/s.
+    pub rate_rps: f64,
+    /// SLA p95 target, seconds.
+    pub sla_p95_s: f64,
+    /// Total operational carbon of the scheme, grams.
+    pub total_carbon_g: f64,
+    /// Total operational carbon of the synchronized BASE run, grams.
+    pub base_carbon_g: f64,
+    /// Carbon saving vs BASE, percent.
+    pub carbon_saving_pct: f64,
+    /// Served-weighted accuracy over the run, percent.
+    pub accuracy_pct: f64,
+    /// Accuracy loss vs `A_base`, percent (≥ 0).
+    pub accuracy_loss_pct: f64,
+    /// Accuracy gain vs BASE, percent (≤ 0; Fig. 10's y-axis).
+    pub accuracy_gain_pct: f64,
+    /// Run-level p95 latency, seconds.
+    pub p95_s: f64,
+    /// BASE run-level p95 latency, seconds.
+    pub base_p95_s: f64,
+    /// p95 normalized to the BASE reference (Fig. 9/15's metric).
+    pub p95_norm_to_base: f64,
+    /// Whether the run-level p95 met the SLA.
+    pub sla_met: bool,
+    /// Run-average IT energy per request, joules.
+    pub energy_per_request_j: f64,
+    /// Carbon saved per request vs BASE, grams (drives the §5.2.1 estimate).
+    pub saving_g_per_request: f64,
+    /// Total live time spent in optimization, seconds.
+    pub optimization_time_s: f64,
+    /// Optimization time as a fraction of the horizon.
+    pub optimization_fraction: f64,
+    /// Requests served (extrapolated to the full horizon).
+    pub served_scaled: f64,
+    /// Per-hour timeline.
+    pub timeline: Vec<HourPoint>,
+    /// Optimization invocations.
+    pub invocations: Vec<InvocationRecord>,
+}
+
+impl ExperimentOutcome {
+    /// Total configurations evaluated across all invocations.
+    pub fn evals_total(&self) -> usize {
+        self.invocations.iter().map(|i| i.evals.len()).sum()
+    }
+
+    /// Evaluated configurations that met the SLA.
+    pub fn evals_sla_ok(&self) -> usize {
+        self.invocations
+            .iter()
+            .flat_map(|i| &i.evals)
+            .filter(|e| e.sla_ok)
+            .count()
+    }
+
+    /// Optimization-time fraction per consecutive window of
+    /// `window_hours` (Fig. 12a's bars).
+    pub fn opt_fraction_by_window(&self, window_hours: f64) -> Vec<f64> {
+        let n = (self.horizon_hours / window_hours).ceil() as usize;
+        let mut out = vec![0.0; n];
+        for inv in &self.invocations {
+            let idx = ((inv.at_hours / window_hours) as usize).min(n.saturating_sub(1));
+            out[idx] += inv.time_spent_s;
+        }
+        for w in &mut out {
+            *w /= window_hours * 3600.0;
+        }
+        out
+    }
+}
+
+/// A runnable experiment with its derived workload, SLA and objective.
+pub struct Experiment {
+    cfg: ExperimentConfig,
+    family: ModelFamily,
+    perf: PerfModel,
+    trace: CarbonTrace,
+    /// Offered Poisson rate, req/s.
+    pub rate_rps: f64,
+    /// The derived objective (λ, C_base, A_base, SLA).
+    pub objective: Objective,
+    /// Measured BASE energy per request at calibration, joules.
+    pub base_energy_per_request_j: f64,
+}
+
+impl Experiment {
+    /// Derives workload, SLA and objective baselines for `cfg`.
+    pub fn new(cfg: ExperimentConfig) -> Self {
+        let family = cfg.app.family();
+        let perf = PerfModel::a100();
+        let trace = match cfg.trace {
+            TraceSource::Region(r) => r.eval_trace(cfg.seed),
+            TraceSource::Constant(v) => CarbonTrace::constant(
+                CarbonIntensity::from_g_per_kwh(v),
+                SimDuration::from_hours(cfg.horizon_hours + 1.0),
+            ),
+        };
+
+        // Workload: BASE on the reference GPUs at the utilization target.
+        let base_ref = Deployment::base(&family, cfg.reference_gpus);
+        let capacity = analytic::estimate(&family, &perf, &base_ref, 1.0).capacity_rps;
+        let rate_rps = capacity * cfg.utilization_target;
+
+        // Calibration window: measures BASE p95 (the SLA) and C_base.
+        let mut calib = ServingSim::new(
+            family.clone(),
+            perf,
+            base_ref,
+            cfg.seed ^ 0xCA11_B007,
+        );
+        let w = calib.run_window(
+            rate_rps,
+            SimDuration::from_secs(40.0),
+            SimDuration::from_secs(8.0),
+        );
+        let base_energy = w.energy_per_request_j().expect("calibration served");
+        let sla = w.p95_latency_s * cfg.sla_headroom;
+        let ci_ref = trace.mean();
+        let c_base = Objective::carbon_per_request_g(base_energy, ci_ref);
+
+        let mut objective =
+            Objective::new(family.accuracy_base(), c_base, sla).with_lambda(cfg.lambda);
+        if let Some(floor) = cfg.accuracy_floor_pct {
+            objective = objective.with_accuracy_floor(floor);
+        }
+
+        Experiment {
+            cfg,
+            family,
+            perf,
+            trace,
+            rate_rps,
+            objective,
+            base_energy_per_request_j: base_energy,
+        }
+    }
+
+    /// The configuration this experiment runs.
+    pub fn config(&self) -> &ExperimentConfig {
+        &self.cfg
+    }
+
+    /// The carbon trace in force.
+    pub fn trace(&self) -> &CarbonTrace {
+        &self.trace
+    }
+
+    /// Runs the experiment (scheme plus the synchronized BASE reference).
+    pub fn run(&self) -> ExperimentOutcome {
+        let cfg = &self.cfg;
+        let hours = cfg.horizon_hours.ceil() as u32;
+        let window = SimDuration::from_secs(cfg.sim_window_s);
+        let warmup = SimDuration::from_secs((cfg.sim_window_s * 0.05).clamp(1.0, 8.0));
+        let scale = 3600.0 / cfg.sim_window_s;
+
+        let initial = Deployment::base(&self.family, cfg.n_gpus);
+        let mut scheduler = make_scheduler(cfg.scheme, &self.family, cfg.n_gpus, cfg.sa);
+        let mut evaluator = DesEvaluator::new(
+            self.family.clone(),
+            self.perf,
+            self.rate_rps,
+            initial.clone(),
+            cfg.seed ^ 0xE7A1,
+        );
+        let mut monitor = CarbonMonitor::new(self.trace.clone(), cfg.monitor_threshold);
+        let mut rng = SimRng::new(cfg.seed ^ 0x5C8E);
+        let pue = Pue::PAPER_DEFAULT;
+        let mut ledger = CarbonLedger::new(self.trace.clone(), pue);
+        let mut base_ledger = CarbonLedger::new(self.trace.clone(), pue);
+
+        let mut sim =
+            ServingSim::new(self.family.clone(), self.perf, initial.clone(), cfg.seed ^ 0x11);
+        let base_ref = Deployment::base(&self.family, cfg.reference_gpus);
+        let mut base_sim =
+            ServingSim::new(self.family.clone(), self.perf, base_ref, cfg.seed ^ 0x22);
+
+        let mut hist = LatencyHistogram::for_latency();
+        let mut base_hist = LatencyHistogram::for_latency();
+        let mut per_variant = vec![0.0f64; self.family.len()];
+        let mut served_scaled = 0.0f64;
+        let mut base_served_scaled = 0.0f64;
+        let mut optimization_time_s = 0.0f64;
+        let mut timeline = Vec::with_capacity(hours as usize);
+        let mut invocations = Vec::new();
+        // The paper re-invokes optimization on SLA violations as well as
+        // carbon-intensity drift (Sec. 4.2's re-invocation triggers).
+        let mut sla_violated_last_hour = false;
+
+        for hour in 0..hours {
+            let t = SimTime::from_hours(hour as f64);
+            let event = monitor.observe(t);
+            let ci = event.current;
+
+            if hour == 0 || event.triggered || sla_violated_last_hour {
+                let mut ctx = SchedulerCtx {
+                    family: &self.family,
+                    perf: &self.perf,
+                    objective: &self.objective,
+                    ci,
+                    evaluator: &mut evaluator,
+                    rng: &mut rng,
+                };
+                let decision = scheduler.reoptimize(&mut ctx);
+                monitor.acknowledge(ci);
+                if let Some(run) = decision.run {
+                    optimization_time_s += run.time_spent_s;
+                    invocations.push(InvocationRecord {
+                        at_hours: hour as f64,
+                        time_spent_s: run.time_spent_s,
+                        evals: run.evals,
+                    });
+                    // Exploration traffic is real traffic: fold it in 1:1.
+                    for w in evaluator.take_window_log() {
+                        Self::accumulate(
+                            &mut ledger,
+                            &mut hist,
+                            &mut per_variant,
+                            &mut served_scaled,
+                            t,
+                            &w,
+                            1.0,
+                        );
+                    }
+                }
+                evaluator.apply(decision.deployment.clone());
+                sim.set_deployment(decision.deployment);
+            }
+
+            // Representative serving window for this hour.
+            let w = sim.run_window(self.rate_rps, window, warmup);
+            Self::accumulate(
+                &mut ledger,
+                &mut hist,
+                &mut per_variant,
+                &mut served_scaled,
+                t,
+                &w,
+                scale,
+            );
+
+            sla_violated_last_hour = w.p95_latency_s > self.objective.l_tail_s
+                && self.cfg.scheme.is_carbon_aware();
+            let hour_acc = w
+                .accuracy_pct(&self.family)
+                .unwrap_or(self.family.accuracy_base());
+            let hour_energy = w.energy_per_request_j().unwrap_or(f64::NAN);
+            let point = MeasuredPoint {
+                accuracy_pct: hour_acc,
+                energy_per_request_j: hour_energy,
+                p95_latency_s: w.p95_latency_s,
+            };
+            timeline.push(HourPoint {
+                hour,
+                ci_g_per_kwh: ci.g_per_kwh(),
+                objective_f: self.objective.f(&point, ci),
+                accuracy_pct: hour_acc,
+                p95_s: w.p95_latency_s,
+                energy_per_request_j: hour_energy,
+                carbon_save_pct: self.objective.delta_carbon_pct(hour_energy, ci),
+            });
+
+            // Synchronized BASE reference hour.
+            let bw = base_sim.run_window(self.rate_rps, window, warmup);
+            base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * scale));
+            base_hist.merge(&bw.latency_hist);
+            base_served_scaled += bw.served as f64 * scale;
+        }
+
+        let total_carbon_g = ledger.carbon().grams();
+        let base_carbon_g = base_ledger.carbon().grams();
+        let accuracy_pct = {
+            let total: f64 = per_variant.iter().sum();
+            if total == 0.0 {
+                self.family.accuracy_base()
+            } else {
+                per_variant
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| {
+                        self.family.variants[i].accuracy_pct * n
+                    })
+                    .sum::<f64>()
+                    / total
+            }
+        };
+        let a_base = self.family.accuracy_base();
+        let p95_s = hist.quantile(0.95).unwrap_or(0.0);
+        let base_p95_s = base_hist.quantile(0.95).unwrap_or(f64::NAN);
+        let horizon_s = cfg.horizon_hours * 3600.0;
+        let energy_per_request_j = if served_scaled > 0.0 {
+            ledger.it_energy().joules() / served_scaled
+        } else {
+            f64::NAN
+        };
+        let carbon_per_req_g = if served_scaled > 0.0 {
+            total_carbon_g / served_scaled
+        } else {
+            f64::NAN
+        };
+        let base_carbon_per_req_g = if base_served_scaled > 0.0 {
+            base_carbon_g / base_served_scaled
+        } else {
+            f64::NAN
+        };
+
+        ExperimentOutcome {
+            scheme: cfg.scheme.label().to_string(),
+            app: cfg.app.label().to_string(),
+            trace: match cfg.trace {
+                TraceSource::Region(r) => r.to_string(),
+                TraceSource::Constant(v) => format!("constant {v} gCO2/kWh"),
+            },
+            n_gpus: cfg.n_gpus,
+            lambda: cfg.lambda,
+            horizon_hours: cfg.horizon_hours,
+            rate_rps: self.rate_rps,
+            sla_p95_s: self.objective.l_tail_s,
+            total_carbon_g,
+            base_carbon_g,
+            carbon_saving_pct: (base_carbon_g - total_carbon_g) / base_carbon_g * 100.0,
+            accuracy_pct,
+            accuracy_loss_pct: (a_base - accuracy_pct) / a_base * 100.0,
+            accuracy_gain_pct: (accuracy_pct - a_base) / a_base * 100.0,
+            p95_s,
+            base_p95_s,
+            p95_norm_to_base: p95_s / base_p95_s,
+            sla_met: p95_s <= self.objective.l_tail_s,
+            energy_per_request_j,
+            saving_g_per_request: base_carbon_per_req_g - carbon_per_req_g,
+            optimization_time_s,
+            optimization_fraction: optimization_time_s / horizon_s,
+            served_scaled,
+            timeline,
+            invocations,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn accumulate(
+        ledger: &mut CarbonLedger,
+        hist: &mut LatencyHistogram,
+        per_variant: &mut [f64],
+        served_scaled: &mut f64,
+        at: SimTime,
+        w: &WindowMetrics,
+        scale: f64,
+    ) {
+        ledger.record_energy_at(at, Energy::from_joules(w.it_energy_j() * scale));
+        hist.merge(&w.latency_hist);
+        for (acc, &n) in per_variant.iter_mut().zip(w.per_variant_served.iter()) {
+            *acc += n as f64 * scale;
+        }
+        *served_scaled += w.served as f64 * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(scheme: SchemeKind) -> ExperimentOutcome {
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(scheme)
+            .n_gpus(4)
+            .horizon_hours(6.0)
+            .sim_window_s(20.0)
+            .seed(3)
+            .build();
+        Experiment::new(cfg).run()
+    }
+
+    #[test]
+    fn base_scheme_is_the_reference() {
+        let out = quick(SchemeKind::Base);
+        assert!(
+            out.carbon_saving_pct.abs() < 8.0,
+            "BASE vs BASE saving {}",
+            out.carbon_saving_pct
+        );
+        assert!(out.accuracy_loss_pct.abs() < 1e-9);
+        assert!(out.sla_met, "BASE violates its own SLA");
+        assert_eq!(out.evals_total(), 0);
+        assert_eq!(out.optimization_time_s, 0.0);
+        assert_eq!(out.timeline.len(), 6);
+    }
+
+    #[test]
+    fn co2opt_saves_most_carbon_with_most_accuracy_loss() {
+        let out = quick(SchemeKind::Co2Opt);
+        assert!(out.carbon_saving_pct > 70.0, "saving {}", out.carbon_saving_pct);
+        assert!(
+            out.accuracy_loss_pct > 4.0,
+            "loss {}",
+            out.accuracy_loss_pct
+        );
+        assert!(out.sla_met, "CO2OPT p95 {} vs SLA {}", out.p95_s, out.sla_p95_s);
+    }
+
+    #[test]
+    fn clover_balances_carbon_and_accuracy() {
+        let out = quick(SchemeKind::Clover);
+        let co2 = quick(SchemeKind::Co2Opt);
+        assert!(out.carbon_saving_pct > 50.0, "saving {}", out.carbon_saving_pct);
+        assert!(
+            out.accuracy_loss_pct < co2.accuracy_loss_pct,
+            "clover loss {} vs co2opt {}",
+            out.accuracy_loss_pct,
+            co2.accuracy_loss_pct
+        );
+        assert!(out.sla_met, "p95 {} vs SLA {}", out.p95_s, out.sla_p95_s);
+        assert!(out.evals_total() > 0);
+        assert!(out.optimization_fraction > 0.0 && out.optimization_fraction < 0.2);
+    }
+
+    #[test]
+    fn outcome_bookkeeping_consistent() {
+        let out = quick(SchemeKind::Clover);
+        assert!(out.served_scaled > 0.0);
+        assert!(out.total_carbon_g > 0.0);
+        assert_eq!(out.timeline.len(), 6);
+        let windows = out.opt_fraction_by_window(2.0);
+        assert_eq!(windows.len(), 3);
+        let total_from_windows: f64 =
+            windows.iter().map(|f| f * 2.0 * 3600.0).sum();
+        assert!((total_from_windows - out.optimization_time_s).abs() < 1e-6);
+        assert!(out.evals_sla_ok() <= out.evals_total());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = quick(SchemeKind::Clover);
+        let b = quick(SchemeKind::Clover);
+        assert_eq!(a.total_carbon_g, b.total_carbon_g);
+        assert_eq!(a.evals_total(), b.evals_total());
+        assert_eq!(a.p95_s, b.p95_s);
+    }
+}

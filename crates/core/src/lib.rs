@@ -1,0 +1,34 @@
+//! # clover-core
+//!
+//! The Clover scheduler itself: everything above the substrates.
+//!
+//! - [`graph`] — the configuration graph (Definition 1) and graph edit
+//!   distance, the compact search representation of `(x_p, x_v)`.
+//! - [`neighbors`] — GED-bounded neighbor sampling (threshold 4).
+//! - [`objective`] — Eqs. 1–6: ΔAccuracy, ΔCarbon, the λ-weighted objective
+//!   `f`, the SLA constraint, and the SA energy `h`.
+//! - [`anneal`] — the paper's simulated-annealing loop (T₀ = 1, cooling
+//!   0.05/iteration to 0.1, 5-minute budget, 5-non-improving stop).
+//! - [`eval`] — live candidate evaluation on the serving simulator, with
+//!   reconfiguration downtime charged.
+//! - [`schedulers`] — BASE, CO2OPT, BLOVER, CLOVER and ORACLE.
+//! - [`experiment`] — the 48-hour evaluation runtime reproducing the
+//!   paper's Sec. 5 methodology, including the synchronized BASE reference.
+
+#![warn(missing_docs)]
+
+pub mod anneal;
+pub mod eval;
+pub mod experiment;
+pub mod graph;
+pub mod neighbors;
+pub mod objective;
+pub mod schedulers;
+
+pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams};
+pub use eval::DesEvaluator;
+pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, TraceSource};
+pub use graph::ConfigGraph;
+pub use neighbors::NeighborSampler;
+pub use objective::{MeasuredPoint, Objective};
+pub use schedulers::{make_scheduler, Decision, Scheduler, SchedulerCtx, SchemeKind};

@@ -1,0 +1,650 @@
+//! The competing scheduling schemes of the paper's evaluation (Sec. 5.1).
+//!
+//! - **BASE** — highest-quality variant on every unpartitioned GPU; never
+//!   reconfigures. The accuracy/carbon baseline.
+//! - **CO2OPT** — the carbon-aggressive extreme: MIG configuration 19
+//!   everywhere, smallest variant on every slice; never reconfigures.
+//! - **BLOVER** — Basic-Clover: identical controller, objective, SLA and
+//!   termination rule, but searches by sampling the *raw* `(x_p, x_v)` space
+//!   uniformly at random instead of annealing in the graph space. Clover's
+//!   margin over Blover isolates the value of the graph-based optimization.
+//! - **CLOVER** — simulated annealing over GED-bounded graph neighborhoods,
+//!   warm-started from the previous invocation's best configuration.
+//! - **ORACLE** — exhaustive offline profiling over standardized
+//!   configurations (same MIG configuration and variant multiset on every
+//!   GPU, as the paper does to bound the search space); switches instantly
+//!   and at zero charged cost to the objective-maximizing SLA-compliant
+//!   entry whenever the carbon intensity changes.
+
+use crate::anneal::{anneal, OptimizationRun, SaParams};
+use crate::eval::DesEvaluator;
+use crate::neighbors::NeighborSampler;
+use crate::objective::{MeasuredPoint, Objective};
+use clover_carbon::CarbonIntensity;
+use clover_mig::{MigConfig, Partitioning, SliceType};
+use clover_models::{ModelFamily, PerfModel, VariantId};
+use clover_serving::{Deployment, ServingSim};
+use clover_simkit::{SimDuration, SimRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The five schemes compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SchemeKind {
+    /// Highest-quality model, unpartitioned GPUs, carbon-unaware.
+    Base,
+    /// Most aggressive partition + smallest variant, carbon-minimal.
+    Co2Opt,
+    /// Basic-Clover: random search in the raw configuration space.
+    Blover,
+    /// Clover: graph-space simulated annealing.
+    Clover,
+    /// Exhaustive offline profiling with instant switching.
+    Oracle,
+}
+
+impl SchemeKind {
+    /// All schemes, in the paper's presentation order.
+    pub const ALL: [SchemeKind; 5] = [
+        SchemeKind::Base,
+        SchemeKind::Co2Opt,
+        SchemeKind::Blover,
+        SchemeKind::Clover,
+        SchemeKind::Oracle,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Base => "BASE",
+            SchemeKind::Co2Opt => "CO2OPT",
+            SchemeKind::Blover => "BLOVER",
+            SchemeKind::Clover => "CLOVER",
+            SchemeKind::Oracle => "ORACLE",
+        }
+    }
+
+    /// Whether the scheme reacts to carbon-intensity changes.
+    pub fn is_carbon_aware(self) -> bool {
+        matches!(
+            self,
+            SchemeKind::Blover | SchemeKind::Clover | SchemeKind::Oracle
+        )
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// What a scheduler returns from one invocation.
+pub struct Decision {
+    /// The configuration to apply for the coming period.
+    pub deployment: Deployment,
+    /// The optimization run that produced it (None for schemes that do not
+    /// search online).
+    pub run: Option<OptimizationRun>,
+}
+
+/// Everything a scheduler sees at invocation time.
+pub struct SchedulerCtx<'a> {
+    /// The application's model family.
+    pub family: &'a ModelFamily,
+    /// Hardware performance model.
+    pub perf: &'a PerfModel,
+    /// The objective (λ, baselines, SLA).
+    pub objective: &'a Objective,
+    /// Carbon intensity right now.
+    pub ci: CarbonIntensity,
+    /// Live evaluator (charged measurement windows).
+    pub evaluator: &'a mut DesEvaluator,
+    /// Scheduler-owned randomness.
+    pub rng: &'a mut SimRng,
+}
+
+/// A scheme's re-optimization behavior.
+pub trait Scheduler {
+    /// Which scheme this is.
+    fn kind(&self) -> SchemeKind;
+
+    /// Invoked at start-up and whenever the carbon monitor triggers.
+    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision;
+}
+
+/// Constructs the scheduler for a scheme over `n_gpus` GPUs.
+pub fn make_scheduler(
+    kind: SchemeKind,
+    family: &ModelFamily,
+    n_gpus: usize,
+    sa: SaParams,
+) -> Box<dyn Scheduler> {
+    match kind {
+        SchemeKind::Base => Box::new(StaticScheduler {
+            kind,
+            deployment: Deployment::base(family, n_gpus),
+        }),
+        SchemeKind::Co2Opt => Box::new(StaticScheduler {
+            kind,
+            deployment: Deployment::co2opt(family, n_gpus),
+        }),
+        SchemeKind::Blover => Box::new(BloverScheduler {
+            n_gpus,
+            params: sa,
+        }),
+        SchemeKind::Clover => Box::new(CloverScheduler {
+            best: Deployment::base(family, n_gpus),
+            params: sa,
+            sampler: NeighborSampler::default(),
+        }),
+        SchemeKind::Oracle => Box::new(OracleScheduler {
+            n_gpus,
+            profile: None,
+        }),
+    }
+}
+
+/// BASE / CO2OPT: a fixed deployment.
+struct StaticScheduler {
+    kind: SchemeKind,
+    deployment: Deployment,
+}
+
+impl Scheduler for StaticScheduler {
+    fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    fn reoptimize(&mut self, _ctx: &mut SchedulerCtx<'_>) -> Decision {
+        Decision {
+            deployment: self.deployment.clone(),
+            run: None,
+        }
+    }
+}
+
+/// Draws a uniformly random raw `(x_p, x_v)` configuration.
+pub fn random_raw_deployment(
+    family: &ModelFamily,
+    n_gpus: usize,
+    rng: &mut SimRng,
+) -> Deployment {
+    loop {
+        let configs: Vec<MigConfig> = (0..n_gpus)
+            .map(|_| MigConfig::new(rng.range_usize(1, MigConfig::COUNT + 1) as u8))
+            .collect();
+        let partitioning = Partitioning::new(configs);
+        let mut ok = true;
+        let mut variants = Vec::with_capacity(partitioning.total_slices());
+        for slice in partitioning.slices() {
+            let fitting = family.fitting(slice.ty);
+            if fitting.is_empty() {
+                ok = false;
+                break;
+            }
+            variants.push(*rng.choose(&fitting));
+        }
+        if !ok {
+            continue;
+        }
+        if let Ok(d) = Deployment::new(family, partitioning, variants) {
+            return d;
+        }
+    }
+}
+
+/// BLOVER: random search in the raw space with Clover's controller,
+/// objective and termination rule.
+///
+/// Unlike Clover, Blover has no compact representation to warm-start from:
+/// each invocation searches the raw `(x_p, x_v)` space from scratch and
+/// deploys the best configuration that invocation found before the
+/// termination rule fired. This is why it "cannot quickly find a
+/// near-optimal configuration to keep up with the pace of the changing
+/// carbon intensity" (paper Sec. 5.2.2).
+struct BloverScheduler {
+    n_gpus: usize,
+    params: SaParams,
+}
+
+impl Scheduler for BloverScheduler {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Blover
+    }
+
+    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+        let family = ctx.family.clone();
+        let n_gpus = self.n_gpus;
+        let evaluator = &mut *ctx.evaluator;
+        let start = random_raw_deployment(&family, n_gpus, ctx.rng);
+        let run = anneal(
+            start,
+            ctx.objective,
+            ctx.ci,
+            &self.params,
+            ctx.rng,
+            // Proposal ignores the center: global uniform random sampling.
+            move |_center, rng| Some(random_raw_deployment(&family, n_gpus, rng)),
+            |candidate| evaluator.evaluate(candidate),
+        );
+        Decision {
+            deployment: run.best.clone(),
+            run: Some(run),
+        }
+    }
+}
+
+/// CLOVER: graph-space simulated annealing, warm-started per invocation.
+struct CloverScheduler {
+    best: Deployment,
+    params: SaParams,
+    sampler: NeighborSampler,
+}
+
+impl Scheduler for CloverScheduler {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Clover
+    }
+
+    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+        let family = ctx.family.clone();
+        let sampler = self.sampler;
+        let perf = *ctx.perf;
+        let rate = ctx.evaluator.rate_rps;
+        let l_tail = ctx.objective.l_tail_s;
+        let evaluator = &mut *ctx.evaluator;
+        // Emergency recovery: if the warm-start center cannot even sustain
+        // the offered load (e.g. the service was re-provisioned onto fewer
+        // GPUs), widen the termination rule so one invocation can climb out
+        // of overload instead of stopping after five local misses.
+        let start_est =
+            clover_serving::analytic::estimate(&family, &perf, &self.best, rate);
+        let params = if start_est.stable && start_est.p95_latency_s <= l_tail * 2.0 {
+            self.params
+        } else {
+            SaParams {
+                non_improving_stop: self.params.non_improving_stop * 4,
+                ..self.params
+            }
+        };
+        // Graph neighborhoods plus a zero-cost analytic screen keep the SA
+        // walk inside SLA-compliant regions (paper Fig. 12b: "the SA
+        // algorithm is able to guide Clover towards SLA-compliant graph
+        // neighborhoods"): candidates whose steady-state estimate is
+        // unstable or far beyond the SLA are re-sampled instead of being
+        // measured on live traffic.
+        let run = anneal(
+            self.best.clone(),
+            ctx.objective,
+            ctx.ci,
+            &params,
+            ctx.rng,
+            move |center, rng| {
+                for _ in 0..8 {
+                    let candidate = sampler.sample(&family, center, rng)?;
+                    let est = clover_serving::analytic::estimate(&family, &perf, &candidate, rate);
+                    if est.stable && est.p95_latency_s <= l_tail * 1.3 {
+                        return Some(candidate);
+                    }
+                }
+                sampler.sample(&family, center, rng)
+            },
+            |candidate| evaluator.evaluate(candidate),
+        );
+        self.best = run.best.clone();
+        Decision {
+            deployment: run.best.clone(),
+            run: Some(run),
+        }
+    }
+}
+
+/// One profiled configuration in ORACLE's offline table.
+#[derive(Debug, Clone)]
+pub struct ProfiledConfig {
+    /// The standardized deployment.
+    pub deployment: Deployment,
+    /// Its measured point (accuracy / energy / p95), intensity-independent.
+    pub point: MeasuredPoint,
+}
+
+/// ORACLE: exhaustive offline profile + instant argmax switching.
+struct OracleScheduler {
+    n_gpus: usize,
+    profile: Option<Vec<ProfiledConfig>>,
+}
+
+impl OracleScheduler {
+    /// Profiles every standardized configuration with a short DES window.
+    /// This is the paper's "approximately two weeks" of offline work; it is
+    /// not charged to the runtime.
+    fn build_profile(&self, ctx: &mut SchedulerCtx<'_>) -> Vec<ProfiledConfig> {
+        enumerate_standardized(ctx.family, self.n_gpus)
+            .into_iter()
+            .enumerate()
+            .map(|(i, deployment)| {
+                let mut sim = ServingSim::new(
+                    ctx.family.clone(),
+                    *ctx.perf,
+                    deployment.clone(),
+                    0xACE1_u64.wrapping_add(i as u64),
+                );
+                let m = sim.run_window(
+                    ctx.evaluator.rate_rps,
+                    SimDuration::from_secs(DesEvaluator::DEFAULT_WINDOW_S),
+                    SimDuration::from_secs(DesEvaluator::DEFAULT_WARMUP_S),
+                );
+                let point = MeasuredPoint {
+                    accuracy_pct: m
+                        .accuracy_pct(ctx.family)
+                        .unwrap_or(ctx.family.accuracy_base()),
+                    energy_per_request_j: m.energy_per_request_j().unwrap_or(1e12),
+                    p95_latency_s: if m.served == 0 { 1e6 } else { m.p95_latency_s },
+                };
+                ProfiledConfig { deployment, point }
+            })
+            .collect()
+    }
+}
+
+impl Scheduler for OracleScheduler {
+    fn kind(&self) -> SchemeKind {
+        SchemeKind::Oracle
+    }
+
+    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+        if self.profile.is_none() {
+            self.profile = Some(self.build_profile(ctx));
+        }
+        let profile = self.profile.as_ref().expect("profile built");
+        // Select with a safety margin: short profiling windows slightly
+        // underestimate the long-run p95, and the oracle must never deploy
+        // a violating configuration.
+        let margin = 0.93;
+        let best = profile
+            .iter()
+            .filter(|p| p.point.p95_latency_s <= ctx.objective.l_tail_s * margin)
+            .max_by(|a, b| {
+                ctx.objective
+                    .f(&a.point, ctx.ci)
+                    .partial_cmp(&ctx.objective.f(&b.point, ctx.ci))
+                    .expect("finite objective")
+            })
+            .unwrap_or(&profile[0]);
+        Decision {
+            deployment: best.deployment.clone(),
+            run: None,
+        }
+    }
+}
+
+/// Enumerates the standardized search space: every MIG configuration,
+/// uniform across GPUs, crossed with every variant multiset per slice-type
+/// group (OOM-infeasible pairings excluded).
+pub fn enumerate_standardized(family: &ModelFamily, n_gpus: usize) -> Vec<Deployment> {
+    let mut out = Vec::new();
+    for config in MigConfig::all() {
+        // Group the configuration's slots by slice type, preserving slot
+        // order within the config's slice list.
+        let slots: &[SliceType] = config.slices();
+        let mut group_types: Vec<SliceType> = Vec::new();
+        let mut group_sizes: Vec<usize> = Vec::new();
+        for &ty in slots {
+            if group_types.last() == Some(&ty) {
+                *group_sizes.last_mut().expect("non-empty") += 1;
+            } else {
+                group_types.push(ty);
+                group_sizes.push(1);
+            }
+        }
+
+        // Variant multisets per group.
+        let mut per_group: Vec<Vec<Vec<VariantId>>> = Vec::with_capacity(group_types.len());
+        let mut feasible = true;
+        for (&ty, &k) in group_types.iter().zip(group_sizes.iter()) {
+            let fitting = family.fitting(ty);
+            if fitting.is_empty() {
+                feasible = false;
+                break;
+            }
+            per_group.push(multisets(&fitting, k));
+        }
+        if !feasible {
+            continue;
+        }
+
+        // Cross product of group choices.
+        let mut stack: Vec<Vec<VariantId>> = vec![Vec::new()];
+        for group in &per_group {
+            let mut next = Vec::with_capacity(stack.len() * group.len());
+            for prefix in &stack {
+                for choice in group {
+                    let mut v = prefix.clone();
+                    v.extend_from_slice(choice);
+                    next.push(v);
+                }
+            }
+            stack = next;
+        }
+
+        for per_gpu in stack {
+            let partitioning = Partitioning::uniform(n_gpus, config);
+            let mut variants = Vec::with_capacity(per_gpu.len() * n_gpus);
+            for _ in 0..n_gpus {
+                variants.extend_from_slice(&per_gpu);
+            }
+            if let Ok(d) = Deployment::new(family, partitioning, variants) {
+                out.push(d);
+            }
+        }
+    }
+    out
+}
+
+/// All multisets of size `k` over `items` (combinations with replacement),
+/// each returned as a sorted vector.
+fn multisets(items: &[VariantId], k: usize) -> Vec<Vec<VariantId>> {
+    fn rec(
+        items: &[VariantId],
+        k: usize,
+        start: usize,
+        current: &mut Vec<VariantId>,
+        out: &mut Vec<Vec<VariantId>>,
+    ) {
+        if k == 0 {
+            out.push(current.clone());
+            return;
+        }
+        for i in start..items.len() {
+            current.push(items[i]);
+            rec(items, k - 1, i, current, out);
+            current.pop();
+        }
+    }
+    let mut out = Vec::new();
+    rec(items, k, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_models::zoo::{efficientnet, yolo_v5};
+    use clover_serving::analytic;
+
+    #[test]
+    fn multisets_counts() {
+        let items: Vec<VariantId> = (0..4).map(VariantId).collect();
+        // C(n+k-1, k): C(4,1)=4, C(5,2)=10, C(9,6)... for k=3: C(6,3)=20.
+        assert_eq!(multisets(&items, 1).len(), 4);
+        assert_eq!(multisets(&items, 2).len(), 10);
+        assert_eq!(multisets(&items, 3).len(), 20);
+        assert_eq!(multisets(&items[..1], 5).len(), 1);
+    }
+
+    #[test]
+    fn standardized_space_is_bounded_and_valid() {
+        let fam = efficientnet();
+        let all = enumerate_standardized(&fam, 2);
+        // All 19 configs contribute; the space is in the hundreds, not
+        // millions (that is the point of standardizing).
+        assert!(all.len() > 100, "{}", all.len());
+        assert!(all.len() < 5000, "{}", all.len());
+        for d in &all {
+            assert_eq!(d.n_gpus(), 2);
+            for (v, s) in d.instances() {
+                assert!(fam.variant(v).fits(s));
+            }
+        }
+        // BASE and CO2OPT are both in the space.
+        assert!(all.iter().any(|d| *d == Deployment::base(&fam, 2)));
+        assert!(all.iter().any(|d| *d == Deployment::co2opt(&fam, 2)));
+    }
+
+    #[test]
+    fn standardized_space_respects_oom() {
+        let fam = yolo_v5();
+        let all = enumerate_standardized(&fam, 1);
+        let big = fam.largest().id;
+        for d in &all {
+            for (v, s) in d.instances() {
+                if v == big {
+                    assert_ne!(s, SliceType::G1, "x6 placed on 1g");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_raw_deployments_are_valid() {
+        let fam = yolo_v5();
+        let mut rng = SimRng::new(5);
+        for _ in 0..50 {
+            let d = random_raw_deployment(&fam, 3, &mut rng);
+            assert_eq!(d.n_gpus(), 3);
+            for (v, s) in d.instances() {
+                assert!(fam.variant(v).fits(s));
+            }
+        }
+    }
+
+    fn ctx_fixture(
+        rate_frac: f64,
+    ) -> (
+        ModelFamily,
+        PerfModel,
+        Objective,
+        DesEvaluator,
+        SimRng,
+    ) {
+        let fam = efficientnet();
+        let perf = PerfModel::a100();
+        let base = Deployment::base(&fam, 2);
+        let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
+        let rate = cap * rate_frac;
+        let est = analytic::estimate(&fam, &perf, &base, rate);
+        let ci_ref = CarbonIntensity::from_g_per_kwh(250.0);
+        let c_base = Objective::carbon_per_request_g(est.energy_per_request_j, ci_ref);
+        let objective = Objective::new(fam.accuracy_base(), c_base, est.p95_latency_s * 1.2);
+        let evaluator = DesEvaluator::new(fam.clone(), perf, rate, base, 7);
+        (fam, perf, objective, evaluator, SimRng::new(77))
+    }
+
+    #[test]
+    fn static_schemes_never_change() {
+        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        for kind in [SchemeKind::Base, SchemeKind::Co2Opt] {
+            let mut s = make_scheduler(kind, &fam, 2, SaParams::default());
+            let mut ctx = SchedulerCtx {
+                family: &fam,
+                perf: &perf,
+                objective: &objective,
+                ci: CarbonIntensity::from_g_per_kwh(100.0),
+                evaluator: &mut evaluator,
+                rng: &mut rng,
+            };
+            let d1 = s.reoptimize(&mut ctx);
+            let mut ctx2 = SchedulerCtx {
+                family: &fam,
+                perf: &perf,
+                objective: &objective,
+                ci: CarbonIntensity::from_g_per_kwh(400.0),
+                evaluator: &mut evaluator,
+                rng: &mut rng,
+            };
+            let d2 = s.reoptimize(&mut ctx2);
+            assert_eq!(d1.deployment, d2.deployment);
+            assert!(d1.run.is_none());
+        }
+    }
+
+    #[test]
+    fn clover_finds_carbon_saving_config() {
+        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        let mut s = make_scheduler(SchemeKind::Clover, &fam, 2, SaParams::default());
+        let mut ctx = SchedulerCtx {
+            family: &fam,
+            perf: &perf,
+            objective: &objective,
+            ci: CarbonIntensity::from_g_per_kwh(300.0),
+            evaluator: &mut evaluator,
+            rng: &mut rng,
+        };
+        let d = s.reoptimize(&mut ctx);
+        let run = d.run.expect("clover records its run");
+        assert!(run.best_f > 0.0, "best_f {}", run.best_f);
+        assert!(run.evals.len() >= 2);
+        assert!(run.time_spent_s > 0.0);
+    }
+
+    #[test]
+    fn oracle_switches_with_intensity() {
+        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        let mut s = make_scheduler(SchemeKind::Oracle, &fam, 2, SaParams::default());
+        let mut ctx_hi = SchedulerCtx {
+            family: &fam,
+            perf: &perf,
+            objective: &objective,
+            ci: CarbonIntensity::from_g_per_kwh(450.0),
+            evaluator: &mut evaluator,
+            rng: &mut rng,
+        };
+        let hi = s.reoptimize(&mut ctx_hi);
+        assert!(hi.run.is_none(), "oracle charges no optimization time");
+        let mut ctx_lo = SchedulerCtx {
+            family: &fam,
+            perf: &perf,
+            objective: &objective,
+            ci: CarbonIntensity::from_g_per_kwh(60.0),
+            evaluator: &mut evaluator,
+            rng: &mut rng,
+        };
+        let lo = s.reoptimize(&mut ctx_lo);
+        // At very low intensity, accuracy dominates: the oracle should pick
+        // a configuration with higher accuracy than the high-intensity pick.
+        let fam2 = efficientnet();
+        let acc = |d: &Deployment| {
+            clover_models::capacity_weighted_accuracy(
+                &fam2,
+                &PerfModel::a100(),
+                &d.instances(),
+            )
+            .unwrap()
+        };
+        assert!(
+            acc(&lo.deployment) >= acc(&hi.deployment),
+            "lo {} hi {}",
+            acc(&lo.deployment),
+            acc(&hi.deployment)
+        );
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SchemeKind::Clover.label(), "CLOVER");
+        assert!(SchemeKind::Oracle.is_carbon_aware());
+        assert!(!SchemeKind::Base.is_carbon_aware());
+        assert_eq!(SchemeKind::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,152 @@
+//! A thin driver that runs a [`Process`] against an [`EventQueue`].
+//!
+//! Simulations in this workspace are single-threaded state machines: a
+//! `Process` owns all mutable world state and reacts to one event at a time,
+//! optionally scheduling more. The driver loop lives here so every simulator
+//! gets the same run-until-horizon / run-until-quiescent semantics.
+
+use crate::events::EventQueue;
+use crate::time::SimTime;
+
+/// A simulation state machine.
+pub trait Process {
+    /// The event alphabet of the simulation.
+    type Event;
+
+    /// Handles one event at time `now`, scheduling follow-up events on `q`.
+    fn handle(&mut self, now: SimTime, event: Self::Event, q: &mut EventQueue<Self::Event>);
+}
+
+/// Couples a [`Process`] with its event queue and drives it.
+pub struct Simulation<P: Process> {
+    /// The user state machine.
+    pub process: P,
+    /// The pending-event queue; exposed so setup code can seed initial events.
+    pub queue: EventQueue<P::Event>,
+    events_handled: u64,
+}
+
+impl<P: Process> Simulation<P> {
+    /// Wraps a process with an empty event queue.
+    pub fn new(process: P) -> Self {
+        Simulation {
+            process,
+            queue: EventQueue::new(),
+            events_handled: 0,
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// Total number of events dispatched so far.
+    pub fn events_handled(&self) -> u64 {
+        self.events_handled
+    }
+
+    /// Runs until the queue is empty.
+    pub fn run_to_quiescence(&mut self) {
+        while let Some((t, e)) = self.queue.pop() {
+            self.events_handled += 1;
+            self.process.handle(t, e, &mut self.queue);
+        }
+    }
+
+    /// Runs until the next event would be strictly after `horizon` (events at
+    /// exactly `horizon` are processed). Pending later events stay queued.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > horizon {
+                break;
+            }
+            let (t, e) = self.queue.pop().expect("peeked event must exist");
+            self.events_handled += 1;
+            self.process.handle(t, e, &mut self.queue);
+        }
+    }
+
+    /// Runs until `predicate` returns true (checked after each event) or the
+    /// queue empties. Returns whether the predicate fired.
+    pub fn run_while<F: FnMut(&P) -> bool>(&mut self, mut keep_going: F) -> bool {
+        while let Some((t, e)) = self.queue.pop() {
+            self.events_handled += 1;
+            self.process.handle(t, e, &mut self.queue);
+            if !keep_going(&self.process) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    /// Counts ticks, rescheduling itself `remaining` times.
+    struct Ticker {
+        remaining: u32,
+        ticks: u32,
+        last_time: SimTime,
+    }
+
+    impl Process for Ticker {
+        type Event = ();
+
+        fn handle(&mut self, now: SimTime, _event: (), q: &mut EventQueue<()>) {
+            self.ticks += 1;
+            self.last_time = now;
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                q.schedule_in(SimDuration::from_secs(1.0), ());
+            }
+        }
+    }
+
+    fn ticker(n: u32) -> Simulation<Ticker> {
+        let mut sim = Simulation::new(Ticker {
+            remaining: n,
+            ticks: 0,
+            last_time: SimTime::ZERO,
+        });
+        sim.queue.schedule(SimTime::ZERO, ());
+        sim
+    }
+
+    #[test]
+    fn run_to_quiescence_drains_queue() {
+        let mut sim = ticker(5);
+        sim.run_to_quiescence();
+        assert_eq!(sim.process.ticks, 6);
+        assert_eq!(sim.events_handled(), 6);
+        assert_eq!(sim.now(), SimTime::from_secs(5.0));
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut sim = ticker(10);
+        sim.run_until(SimTime::from_secs(3.0));
+        assert_eq!(sim.process.ticks, 4); // t = 0, 1, 2, 3
+        assert_eq!(sim.queue.len(), 1); // t = 4 still pending
+        sim.run_until(SimTime::from_secs(100.0));
+        assert_eq!(sim.process.ticks, 11);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut sim = ticker(10);
+        let fired = sim.run_while(|p| p.ticks < 3);
+        assert!(fired);
+        assert_eq!(sim.process.ticks, 3);
+    }
+
+    #[test]
+    fn run_while_reports_queue_exhaustion() {
+        let mut sim = ticker(2);
+        let fired = sim.run_while(|_| true);
+        assert!(!fired);
+    }
+}

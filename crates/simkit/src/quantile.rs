@@ -1,0 +1,447 @@
+//! Quantile estimation for tail-latency (p95) tracking.
+//!
+//! Three estimators with different memory/accuracy trade-offs:
+//!
+//! - [`ExactQuantiles`] stores every sample; exact, used in tests and for
+//!   short measurement windows during Clover's optimization evaluations.
+//! - [`P2Quantile`] is the classic P² streaming estimator: five markers,
+//!   O(1) memory, good accuracy for stationary streams.
+//! - [`LatencyHistogram`] is an HDR-style geometric-bucket histogram with
+//!   bounded relative error; used for 48-hour runs with tens of millions of
+//!   samples.
+
+use serde::{Deserialize, Serialize};
+
+/// Exact quantile computation over a stored sample buffer.
+#[derive(Debug, Clone, Default)]
+pub struct ExactQuantiles {
+    samples: Vec<f64>,
+    sorted: bool,
+}
+
+impl ExactQuantiles {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty buffer with reserved capacity.
+    pub fn with_capacity(n: usize) -> Self {
+        ExactQuantiles {
+            samples: Vec::with_capacity(n),
+            sorted: true,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.samples.push(x);
+        self.sorted = false;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) using the nearest-rank method.
+    /// Returns `None` when empty.
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples
+                .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+            self.sorted = true;
+        }
+        let n = self.samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.samples[rank - 1])
+    }
+
+    /// Sample mean. Returns `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+
+    /// Clears all samples.
+    pub fn clear(&mut self) {
+        self.samples.clear();
+        self.sorted = true;
+    }
+}
+
+/// P² (Jain & Chlamtac) single-quantile streaming estimator.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights.
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments.
+    increments: [f64; 5],
+    count: usize,
+    /// Initial observations until the estimator is primed.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `q`-quantile (e.g. 0.95 for p95).
+    pub fn new(q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range: {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                for (h, &v) in self.heights.iter_mut().zip(self.initial.iter()) {
+                    *h = v;
+                }
+            }
+            return;
+        }
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            (0..4)
+                .find(|&i| x < self.heights[i + 1])
+                .expect("x is within marker range")
+        };
+
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for (d, inc) in self.desired.iter_mut().zip(self.increments.iter()) {
+            *d += inc;
+        }
+
+        // Adjust interior markers with the piecewise-parabolic formula.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let dp = self.positions[i + 1] - self.positions[i];
+            let dm = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && dp > 1.0) || (d <= -1.0 && dm < -1.0) {
+                let d = d.signum();
+                let hp = (self.heights[i + 1] - self.heights[i]) / dp;
+                let hm = (self.heights[i - 1] - self.heights[i]) / dm;
+                let parabolic =
+                    self.heights[i] + d / (dp - dm) * ((d - dm) * hp + (dp - d) * hm);
+                self.heights[i] = if self.heights[i - 1] < parabolic
+                    && parabolic < self.heights[i + 1]
+                {
+                    parabolic
+                } else if d > 0.0 {
+                    self.heights[i] + hp
+                } else {
+                    self.heights[i] - hm
+                };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Current quantile estimate. Returns `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                let mut v = self.initial.clone();
+                v.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let rank = ((self.q * n as f64).ceil() as usize).clamp(1, n);
+                Some(v[rank - 1])
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+/// Geometric-bucket latency histogram with bounded relative error.
+///
+/// Values are bucketed as `floor(log(x / min) / log(1 + precision))`, so any
+/// quantile estimate is within a factor `1 + precision` of the true value.
+/// Covers `[min_value, +inf)`; values below `min_value` land in bucket 0.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    min_value: f64,
+    log_base: f64,
+    counts: Vec<u64>,
+    total: u64,
+    sum: f64,
+    max_seen: f64,
+}
+
+impl LatencyHistogram {
+    /// Creates a histogram starting at `min_value` (e.g. 1e-5 s) with the
+    /// given relative `precision` (e.g. 0.01 for 1%).
+    pub fn new(min_value: f64, precision: f64) -> Self {
+        assert!(min_value > 0.0 && precision > 0.0);
+        LatencyHistogram {
+            min_value,
+            log_base: (1.0 + precision).ln(),
+            counts: Vec::new(),
+            total: 0,
+            sum: 0.0,
+            max_seen: 0.0,
+        }
+    }
+
+    /// Default configuration for request latencies: 10 µs floor, 1% error.
+    pub fn for_latency() -> Self {
+        Self::new(1e-5, 0.01)
+    }
+
+    fn bucket_of(&self, x: f64) -> usize {
+        if x <= self.min_value {
+            0
+        } else {
+            ((x / self.min_value).ln() / self.log_base) as usize + 1
+        }
+    }
+
+    fn bucket_value(&self, idx: usize) -> f64 {
+        if idx == 0 {
+            self.min_value
+        } else {
+            // Midpoint (geometric) of the bucket.
+            self.min_value * ((idx as f64 - 0.5) * self.log_base).exp()
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, x: f64) {
+        debug_assert!(x.is_finite() && x >= 0.0);
+        let b = self.bucket_of(x);
+        if b >= self.counts.len() {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        self.total += 1;
+        self.sum += x;
+        self.max_seen = self.max_seen.max(x);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum / self.total as f64
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> f64 {
+        self.max_seen
+    }
+
+    /// The `q`-quantile estimate. Returns `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return None;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(self.bucket_value(i).min(self.max_seen));
+            }
+        }
+        Some(self.max_seen)
+    }
+
+    /// Merges another histogram with identical configuration.
+    ///
+    /// # Panics
+    /// Panics if configurations differ.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        assert_eq!(self.min_value, other.min_value, "histogram config mismatch");
+        assert_eq!(self.log_base, other.log_base, "histogram config mismatch");
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (a, &b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Clears all recorded values, keeping the configuration.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.total = 0;
+        self.sum = 0.0;
+        self.max_seen = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn exact_quantiles_nearest_rank() {
+        let mut e = ExactQuantiles::new();
+        for x in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0] {
+            e.record(x);
+        }
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(0.5), Some(5.0));
+        assert_eq!(e.quantile(0.95), Some(10.0));
+        assert_eq!(e.quantile(1.0), Some(10.0));
+        assert_eq!(e.mean(), Some(5.5));
+        e.clear();
+        assert_eq!(e.quantile(0.5), None);
+        assert_eq!(e.mean(), None);
+    }
+
+    #[test]
+    fn exact_quantiles_unsorted_input() {
+        let mut e = ExactQuantiles::new();
+        for x in [5.0, 1.0, 4.0, 2.0, 3.0] {
+            e.record(x);
+        }
+        assert_eq!(e.quantile(0.2), Some(1.0));
+        assert_eq!(e.quantile(0.8), Some(4.0));
+        assert_eq!(e.count(), 5);
+    }
+
+    #[test]
+    fn p2_tracks_uniform_p95() {
+        let mut p2 = P2Quantile::new(0.95);
+        let mut rng = SimRng::new(123);
+        for _ in 0..100_000 {
+            p2.record(rng.f64());
+        }
+        let v = p2.value().unwrap();
+        assert!((v - 0.95).abs() < 0.01, "p95 estimate {v}");
+    }
+
+    #[test]
+    fn p2_tracks_exponential_median() {
+        let mut p2 = P2Quantile::new(0.5);
+        let mut rng = SimRng::new(42);
+        for _ in 0..100_000 {
+            p2.record(rng.exponential(1.0));
+        }
+        let v = p2.value().unwrap();
+        let truth = std::f64::consts::LN_2;
+        assert!((v - truth).abs() / truth < 0.05, "median estimate {v}");
+    }
+
+    #[test]
+    fn p2_small_counts_fall_back_to_exact() {
+        let mut p2 = P2Quantile::new(0.95);
+        assert_eq!(p2.value(), None);
+        p2.record(3.0);
+        assert_eq!(p2.value(), Some(3.0));
+        p2.record(1.0);
+        p2.record(2.0);
+        assert_eq!(p2.value(), Some(3.0));
+        assert_eq!(p2.count(), 3);
+    }
+
+    #[test]
+    fn histogram_quantiles_bounded_error() {
+        let mut h = LatencyHistogram::for_latency();
+        let mut exact = ExactQuantiles::new();
+        let mut rng = SimRng::new(77);
+        for _ in 0..200_000 {
+            // Latencies between ~1 ms and ~1 s, lognormal-ish.
+            let x = (0.01 * (rng.normal() * 0.8).exp()).clamp(1e-4, 10.0);
+            h.record(x);
+            exact.record(x);
+        }
+        for q in [0.5, 0.9, 0.95, 0.99] {
+            let est = h.quantile(q).unwrap();
+            let truth = exact.quantile(q).unwrap();
+            let rel = (est - truth).abs() / truth;
+            assert!(rel < 0.02, "q={q}: est {est} truth {truth} rel {rel}");
+        }
+        assert_eq!(h.count(), 200_000);
+        assert!(h.mean() > 0.0);
+    }
+
+    #[test]
+    fn histogram_edge_cases() {
+        let mut h = LatencyHistogram::new(1e-3, 0.05);
+        assert_eq!(h.quantile(0.95), None);
+        h.record(0.0); // below floor -> bucket 0, clamped to max_seen
+        assert_eq!(h.quantile(0.5), Some(0.0));
+        h.record(100.0);
+        assert!(h.quantile(1.0).unwrap() <= 100.0);
+        assert_eq!(h.max(), 100.0);
+        h.clear();
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_merge_matches_combined() {
+        let mut a = LatencyHistogram::for_latency();
+        let mut b = LatencyHistogram::for_latency();
+        let mut whole = LatencyHistogram::for_latency();
+        let mut rng = SimRng::new(5);
+        for i in 0..10_000 {
+            let x = 0.001 + rng.f64();
+            whole.record(x);
+            if i % 2 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.quantile(0.95), whole.quantile(0.95));
+    }
+}

@@ -1,0 +1,260 @@
+//! Streaming statistics.
+//!
+//! The serving simulator processes tens of millions of requests per 48-hour
+//! run; these accumulators summarize them in O(1) memory. [`Running`] is a
+//! Welford mean/variance accumulator, [`TimeWeighted`] integrates a piecewise
+//! constant signal over simulated time (used for utilization and power).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// Welford online mean/variance accumulator with min/max tracking.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Running {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Running {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Running {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.mean() * self.count as f64
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Running) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Integrates a piecewise-constant signal over simulated time, yielding the
+/// time-weighted average and the raw integral.
+///
+/// Call [`TimeWeighted::set`] whenever the signal changes; the value between
+/// updates is held constant.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeWeighted {
+    last_time: SimTime,
+    current: f64,
+    integral: f64,
+    started: SimTime,
+}
+
+impl TimeWeighted {
+    /// Starts integrating at `start` with initial signal value `initial`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeighted {
+            last_time: start,
+            current: initial,
+            integral: 0.0,
+            started: start,
+        }
+    }
+
+    /// Updates the signal value at time `now`.
+    ///
+    /// # Panics
+    /// Panics if `now` precedes the previous update.
+    pub fn set(&mut self, now: SimTime, value: f64) {
+        self.advance(now);
+        self.current = value;
+    }
+
+    /// Adds `delta` to the current signal value at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        self.advance(now);
+        self.current += delta;
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        let dt = now.since(self.last_time).as_secs();
+        self.integral += self.current * dt;
+        self.last_time = now;
+    }
+
+    /// Current signal value.
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Integral of the signal from start to `now` (value·seconds).
+    pub fn integral_at(&self, now: SimTime) -> f64 {
+        self.integral + self.current * now.since(self.last_time).as_secs()
+    }
+
+    /// Time-weighted average of the signal from start to `now`.
+    pub fn average_at(&self, now: SimTime) -> f64 {
+        let span = now.since(self.started).as_secs();
+        if span == 0.0 {
+            self.current
+        } else {
+            self.integral_at(now) / span
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimTime;
+
+    #[test]
+    fn running_basic_moments() {
+        let mut r = Running::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            r.record(x);
+        }
+        assert_eq!(r.count(), 8);
+        assert!((r.mean() - 5.0).abs() < 1e-12);
+        assert!((r.variance() - 4.0).abs() < 1e-12);
+        assert_eq!(r.std_dev(), 2.0);
+        assert_eq!(r.min(), 2.0);
+        assert_eq!(r.max(), 9.0);
+        assert!((r.sum() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn running_empty_is_safe() {
+        let r = Running::new();
+        assert_eq!(r.mean(), 0.0);
+        assert_eq!(r.variance(), 0.0);
+        assert_eq!(r.count(), 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Running::new();
+        for &x in &data {
+            whole.record(x);
+        }
+        let mut left = Running::new();
+        let mut right = Running::new();
+        for &x in &data[..37] {
+            left.record(x);
+        }
+        for &x in &data[37..] {
+            right.record(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-9);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = Running::new();
+        a.record(1.0);
+        let b = Running::new();
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        let mut c = Running::new();
+        c.merge(&a);
+        assert_eq!(c.count(), 1);
+        assert_eq!(c.mean(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_integral_and_average() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 2.0);
+        tw.set(SimTime::from_secs(10.0), 4.0); // 2.0 for 10 s = 20
+        tw.set(SimTime::from_secs(15.0), 0.0); // 4.0 for 5 s = 20
+        let now = SimTime::from_secs(20.0); // 0.0 for 5 s = 0
+        assert!((tw.integral_at(now) - 40.0).abs() < 1e-12);
+        assert!((tw.average_at(now) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_add() {
+        let mut tw = TimeWeighted::new(SimTime::ZERO, 0.0);
+        tw.add(SimTime::from_secs(1.0), 3.0);
+        tw.add(SimTime::from_secs(2.0), -1.0);
+        assert_eq!(tw.current(), 2.0);
+        // [0,1): 0, [1,2): 3, [2,3): 2 -> integral 5
+        assert!((tw.integral_at(SimTime::from_secs(3.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average_at_start() {
+        let tw = TimeWeighted::new(SimTime::from_secs(5.0), 7.0);
+        assert_eq!(tw.average_at(SimTime::from_secs(5.0)), 7.0);
+    }
+}

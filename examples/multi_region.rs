@@ -1,0 +1,51 @@
+//! Where should the green replica go? Comparing grids and seasons.
+//!
+//! Runs the same Clover-managed service against the three grid traces of
+//! the paper (California in March and September, Great Britain in March)
+//! and reports absolute carbon, not just relative savings — the numbers a
+//! sustainability report would quote.
+//!
+//! ```sh
+//! cargo run --release --example multi_region
+//! ```
+
+use clover::carbon::estimate::SavingsEstimate;
+use clover::carbon::Region;
+use clover::core::experiment::{Experiment, ExperimentConfig};
+use clover::core::schedulers::SchemeKind;
+use clover::models::zoo::Application;
+
+fn main() {
+    let app = Application::LanguageModeling;
+    println!("Clover serving {app} for 24 simulated hours, per region:");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12} {:>14}",
+        "region", "kg CO2", "saved %", "acc loss %", "car-km avoided"
+    );
+    for region in Region::ALL {
+        let cfg = ExperimentConfig::builder(app)
+            .scheme(SchemeKind::Clover)
+            .region(region)
+            .n_gpus(6)
+            .horizon_hours(24.0)
+            .sim_window_s(60.0)
+            .seed(31)
+            .build();
+        let out = Experiment::new(cfg).run();
+        // Scale the measured per-request saving to this run's daily volume.
+        let daily_requests = out.rate_rps * 24.0 * 3600.0;
+        let est =
+            SavingsEstimate::from_per_request(out.saving_g_per_request.max(0.0), daily_requests);
+        println!(
+            "{:<22} {:>12.2} {:>12.1} {:>12.2} {:>14.1}",
+            region.to_string(),
+            out.total_carbon_g / 1e3,
+            out.carbon_saving_pct,
+            out.accuracy_loss_pct,
+            est.gasoline_car_km
+        );
+    }
+    println!();
+    println!("Wind-heavy grids (ESO) reward carbon-awareness differently from solar");
+    println!("duck curves (CISO): the controller re-optimizes on each >5% swing.");
+}
