@@ -1,12 +1,12 @@
 //! Criterion: the analytic steady-state estimator — the cost of screening
 //! one configuration in ORACLE's exhaustive profiling.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use clover_core::schedulers::{enumerate_standardized, random_raw_deployment};
 use clover_models::zoo::efficientnet;
 use clover_models::PerfModel;
 use clover_serving::{analytic, Deployment};
 use clover_simkit::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_analytic(c: &mut Criterion) {
     let fam = efficientnet();

@@ -4,7 +4,6 @@
 //! same annealer run with graph-space neighbor proposals versus raw-space
 //! uniform random proposals.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use clover_carbon::CarbonIntensity;
 use clover_core::anneal::{anneal, EvalOutcome, SaParams};
 use clover_core::neighbors::NeighborSampler;
@@ -14,6 +13,7 @@ use clover_models::zoo::efficientnet;
 use clover_models::PerfModel;
 use clover_serving::{analytic, Deployment};
 use clover_simkit::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn fixture() -> (Objective, f64) {
     let fam = efficientnet();

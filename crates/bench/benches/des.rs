@@ -1,17 +1,16 @@
 //! Criterion: discrete-event serving-simulator throughput — the substrate
 //! cost of every evaluation window and every simulated hour.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use clover_models::zoo::efficientnet;
 use clover_models::PerfModel;
 use clover_serving::{analytic, Deployment, ServingSim};
 use clover_simkit::SimDuration;
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 
 fn bench_des(c: &mut Criterion) {
     let fam = efficientnet();
     let perf = PerfModel::a100();
-    let base_cap =
-        analytic::estimate(&fam, &perf, &Deployment::base(&fam, 10), 1.0).capacity_rps;
+    let base_cap = analytic::estimate(&fam, &perf, &Deployment::base(&fam, 10), 1.0).capacity_rps;
     let rate = base_cap * 0.65; // same offered load for both deployments
     let window = SimDuration::from_secs(10.0);
 

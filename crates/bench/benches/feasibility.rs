@@ -1,9 +1,9 @@
 //! Criterion: slice-census decomposition — the realizability check behind
 //! the configuration-graph compaction.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use clover_mig::{MigConfig, Packer, Partitioning, SliceCensus};
 use clover_simkit::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_feasibility(c: &mut Criterion) {
     let mut rng = SimRng::new(11);

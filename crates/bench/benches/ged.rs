@@ -1,12 +1,12 @@
 //! Criterion: configuration-graph construction and graph edit distance —
 //! the inner loop of Clover's neighborhood filtering.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use clover_core::graph::ConfigGraph;
 use clover_core::schedulers::random_raw_deployment;
 use clover_models::zoo::efficientnet;
 use clover_serving::Deployment;
 use clover_simkit::SimRng;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench_ged(c: &mut Criterion) {
     let fam = efficientnet();

@@ -1,0 +1,55 @@
+//! Criterion: arrival-process generation throughput — the cost the
+//! workload subsystem adds to every simulated serving window.
+
+use clover_simkit::{SimRng, SimTime};
+use clover_workload::{ArrivalTrace, Workload, WorkloadKind};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+/// Drains `n` arrivals from a fresh process of `wl`, returning the last
+/// arrival time (kept live through `black_box`).
+fn drain_n(wl: &Workload, n: usize, seed: u64) -> f64 {
+    let mut p = wl.process_from(SimTime::ZERO);
+    let mut rng = SimRng::new(seed);
+    let mut now = SimTime::ZERO;
+    for _ in 0..n {
+        match p.next_after(now, &mut rng) {
+            Some(t) => now = t,
+            None => break,
+        }
+    }
+    now.as_secs()
+}
+
+fn bench_workload(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let trace = {
+        let times: Vec<f64> = (0..4000).map(|i| (i as f64 * 0.23) % 600.0).collect();
+        ArrivalTrace::new(times, 600.0)
+    };
+    let kinds = [
+        ("poisson", WorkloadKind::Poisson),
+        ("diurnal", WorkloadKind::diurnal()),
+        ("mmpp", WorkloadKind::mmpp()),
+        ("flash_crowd", WorkloadKind::flash_crowd()),
+        (
+            "replay",
+            WorkloadKind::Replay {
+                trace,
+                looping: true,
+            },
+        ),
+    ];
+
+    let mut group = c.benchmark_group("workload");
+    group.throughput(Throughput::Elements(N as u64));
+    for (label, kind) in kinds {
+        let wl = Workload::new(kind, 500.0);
+        group.bench_function(format!("gen_{N}_arrivals_{label}"), |b| {
+            b.iter(|| black_box(drain_n(&wl, N, 42)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

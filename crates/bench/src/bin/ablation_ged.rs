@@ -18,7 +18,10 @@ use clover_serving::{analytic, Deployment};
 use clover_simkit::SimRng;
 
 fn main() {
-    header("Ablation", "GED neighborhood threshold (paper fixes it at 4)");
+    header(
+        "Ablation",
+        "GED neighborhood threshold (paper fixes it at 4)",
+    );
     let fam = Application::ImageClassification.family();
     let perf = PerfModel::a100();
     let base = Deployment::base(&fam, 10);

@@ -4,7 +4,10 @@ use clover_bench::header;
 use clover_mig::MigConfig;
 
 fn main() {
-    header("Fig. 1", "Multi-Instance GPU configurations (5 slice types)");
+    header(
+        "Fig. 1",
+        "Multi-Instance GPU configurations (5 slice types)",
+    );
     for c in MigConfig::all() {
         println!(
             "  config {:>2}: {:<28} slices={}  units={}/7",

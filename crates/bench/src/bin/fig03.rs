@@ -70,7 +70,10 @@ fn main() {
         rows.push((label, w.energy_per_request_j().expect("served"), lat));
     }
     let (e0, l0) = (rows[0].1, rows[0].2);
-    println!("{:<4} {:>16} {:>16}", "cfg", "carbon (norm.)", "latency (norm.)");
+    println!(
+        "{:<4} {:>16} {:>16}",
+        "cfg", "carbon (norm.)", "latency (norm.)"
+    );
     for (label, e, l) in &rows {
         println!("{:<4} {:>16.3} {:>16.3}", label, e / e0, l / l0);
     }

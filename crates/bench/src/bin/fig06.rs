@@ -10,7 +10,10 @@ use clover_carbon::CarbonIntensity;
 use clover_core::objective::{MeasuredPoint, Objective};
 
 fn main() {
-    header("Fig. 6", "Configuration preference flips with carbon intensity");
+    header(
+        "Fig. 6",
+        "Configuration preference flips with carbon intensity",
+    );
     let objective = Objective::new(100.0, 1000.0, 1.0).with_lambda(0.1);
     let configs = [
         ("A", 0.4, -4.0), // E in kWh/request, ΔAccuracy in percent

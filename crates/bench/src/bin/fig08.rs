@@ -6,7 +6,10 @@ use clover_carbon::Region;
 use clover_simkit::SimTime;
 
 fn main() {
-    header("Fig. 8", "48-hour evaluation traces (synthetic reproduction)");
+    header(
+        "Fig. 8",
+        "48-hour evaluation traces (synthetic reproduction)",
+    );
     print!("{:>6}", "hour");
     for region in Region::ALL {
         print!(" {:>22}", region.to_string());

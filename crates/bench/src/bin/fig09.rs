@@ -10,7 +10,10 @@ use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
 fn main() {
-    header("Fig. 9", "Clover vs BASE: accuracy, carbon, SLA (CISO March, 48 h)");
+    header(
+        "Fig. 9",
+        "Clover vs BASE: accuracy, carbon, SLA (CISO March, 48 h)",
+    );
     println!(
         "{:<16} {:>14} {:>14} {:>18}",
         "application", "acc loss (%)", "carbon red. (%)", "p95 (norm. BASE)"

@@ -33,8 +33,8 @@ fn main() {
         // Mean objective summary: the ordering the paper reports.
         print!("{:>6}", "mean");
         for out in &outs {
-            let mean: f64 = out.timeline.iter().map(|p| p.objective_f).sum::<f64>()
-                / out.timeline.len() as f64;
+            let mean: f64 =
+                out.timeline.iter().map(|p| p.objective_f).sum::<f64>() / out.timeline.len() as f64;
             print!(" {mean:>9.2}");
         }
         println!();

@@ -12,7 +12,10 @@ use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
 fn main() {
-    header("Fig. 13", "Configurations evaluated per invocation (Classification)");
+    header(
+        "Fig. 13",
+        "Configurations evaluated per invocation (Classification)",
+    );
     let out = run_std(Application::ImageClassification, SchemeKind::Clover);
     let n = out.invocations.len();
     assert!(n >= 2, "need at least two invocations, got {n}");
@@ -23,7 +26,10 @@ fn main() {
     ];
     for (label, idx) in picks {
         let inv = &out.invocations[idx];
-        println!("{label} (t = {:.0} h, {:.0} s spent):", inv.at_hours, inv.time_spent_s);
+        println!(
+            "{label} (t = {:.0} h, {:.0} s spent):",
+            inv.at_hours, inv.time_spent_s
+        );
         println!(
             "  {:>3} {:>14} {:>12} {:>6} {:>9}",
             "ord", "carbon_save%", "acc_gain%", "SLA", "accepted"
@@ -39,11 +45,7 @@ fn main() {
             );
         }
         let ok = inv.evals.iter().filter(|e| e.sla_ok).count();
-        println!(
-            "  -> {}/{} SLA-compliant evaluations",
-            ok,
-            inv.evals.len()
-        );
+        println!("  -> {}/{} SLA-compliant evaluations", ok, inv.evals.len());
         println!();
     }
     println!(

@@ -34,7 +34,10 @@ fn main() {
 
     println!();
     println!("(b) enforcing an accuracy-loss limit (CISO March trace):");
-    println!("{:>12} {:>14} {:>14}", "allowed loss", "carbon_save%", "actual loss%");
+    println!(
+        "{:>12} {:>14} {:>14}",
+        "allowed loss", "carbon_save%", "actual loss%"
+    );
     for floor in [0.2, 0.4, 0.8, 1.6, 3.2] {
         let cfg = ExperimentConfig::builder(app)
             .scheme(SchemeKind::Clover)

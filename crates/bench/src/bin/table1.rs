@@ -12,7 +12,12 @@ fn main() {
     println!("Variant details (published numbers):");
     for app in Application::ALL {
         let fam = app.family();
-        println!("  {} ({} on {}):", app.label(), fam.architecture, fam.dataset);
+        println!(
+            "  {} ({} on {}):",
+            app.label(),
+            fam.architecture,
+            fam.dataset
+        );
         for v in &fam.variants {
             println!(
                 "    {:<20} params={:7.1}M  gflops={:7.1}  {}={:5.1}%  mem={:4.1}GB",

@@ -5,9 +5,9 @@
 //! `CLOVER_BENCH_SCALE` (default 1.0) scales the simulated horizon so smoke
 //! runs finish quickly; EXPERIMENTS.md records full-scale (48 h) runs.
 
+use clover_carbon::Region;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
-use clover_carbon::Region;
 use clover_models::zoo::Application;
 
 /// Prints a figure/table header in a uniform style.

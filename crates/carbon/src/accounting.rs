@@ -177,7 +177,11 @@ mod tests {
             1000.0,
         );
         // 0.5 kWh @ 100 + 0.5 kWh @ 300 = 50 + 150 = 200 g.
-        assert!((ledger.carbon().grams() - 200.0).abs() < 1e-6, "{}", ledger.carbon());
+        assert!(
+            (ledger.carbon().grams() - 200.0).abs() < 1e-6,
+            "{}",
+            ledger.carbon()
+        );
     }
 
     #[test]

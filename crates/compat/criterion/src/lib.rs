@@ -1,0 +1,165 @@
+//! Offline stand-in for the slice of `criterion` this workspace uses.
+//!
+//! The container cannot reach a crates registry, so the benches under
+//! `crates/bench/benches/` link against this minimal harness instead. It
+//! keeps the same API shape (`Criterion`, `benchmark_group`, `Throughput`,
+//! `black_box`, `criterion_group!`/`criterion_main!`) and does honest — if
+//! statistically unsophisticated — wall-clock timing: a short calibration
+//! pass sizes a measurement batch, then the median of several batches is
+//! reported as ns/iter (plus derived element throughput when declared).
+//!
+//! Swap for the real `criterion` (same major API) once network access
+//! exists; no bench source changes are needed.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one measurement batch.
+const BATCH_TARGET: Duration = Duration::from_millis(60);
+/// Number of measured batches; the median is reported.
+const BATCHES: usize = 5;
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Declared per-iteration workload, used to derive throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Per-benchmark timing driver handed to the closure.
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter for the caller to report.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibration: run until the batch target is met once.
+        let mut batch = 1u64;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= BATCH_TARGET || batch > 1 << 30 {
+                break;
+            }
+            let grow = (BATCH_TARGET.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil()
+                .min(1024.0) as u64;
+            batch = (batch * grow.max(2)).max(batch + 1);
+        }
+        let mut samples = Vec::with_capacity(BATCHES);
+        for _ in 0..BATCHES {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_secs_f64() * 1e9 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.ns_per_iter = samples[samples.len() / 2];
+    }
+}
+
+fn report(name: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<44} {:>14.1} ns/iter", ns);
+    if let Some(tp) = throughput {
+        let (count, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        let per_s = count as f64 / (ns * 1e-9);
+        line.push_str(&format!("  ({per_s:>12.0} {unit}/s)"));
+    }
+    println!("{line}");
+}
+
+/// Top-level benchmark registry (mirrors `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&name, b.ns_per_iter, None);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            prefix: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    prefix: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration workload of subsequent benchmarks.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Runs one named benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.prefix, id.into());
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&name, b.ns_per_iter, self.throughput);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Mirrors `criterion::criterion_group!`: bundles target functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirrors `criterion::criterion_main!`: emits `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,42 @@
+//! Minimal stand-in for the slice of `rand` 0.8 that this workspace uses.
+//!
+//! `clover_simkit::SimRng` implements [`RngCore`] so it can compose with the
+//! wider `rand` ecosystem; offline, only the trait definition itself is
+//! needed. The signatures match `rand` 0.8 exactly, so replacing this stub
+//! with the real crate is a manifest-only change.
+
+use std::fmt;
+
+/// Error type of fallible `RngCore` operations (mirrors `rand::Error`).
+#[derive(Debug)]
+pub struct Error {
+    msg: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static message.
+    pub fn new(msg: &'static str) -> Self {
+        Error { msg }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core uniform random number generator trait (mirrors
+/// `rand::RngCore` 0.8).
+pub trait RngCore {
+    /// Next 32 uniform bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 uniform bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with uniform bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fallible [`RngCore::fill_bytes`].
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error>;
+}

@@ -1,0 +1,23 @@
+//! Marker-trait stand-in for `serde`.
+//!
+//! The build container cannot reach a crates registry, so this workspace
+//! ships a minimal local `serde`: the [`Serialize`] / [`Deserialize`] traits
+//! exist (with blanket impls) purely so that `#[derive(Serialize,
+//! Deserialize)]` and `S: Serialize` bounds across the workspace compile
+//! unchanged. No actual serialization is performed; swap this crate for the
+//! real `serde` (the manifests already request the `derive` feature shape)
+//! once network access exists.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize`; blanket-implemented for all
+/// types.
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -154,10 +154,7 @@ mod tests {
         let base = Deployment::base(&fam, 2);
         let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
         let rate = cap * rate_frac;
-        (
-            DesEvaluator::new(fam, perf, rate, base, 99),
-            rate,
-        )
+        (DesEvaluator::new(fam, perf, rate, base, 99), rate)
     }
 
     #[test]

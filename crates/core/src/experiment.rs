@@ -4,9 +4,13 @@
 //! one application, one scheme, one carbon trace, one λ, over a simulated
 //! horizon (48 hours by default). It drives the full control loop of Fig. 5:
 //!
-//! 1. derive the workload (Poisson rate at which the BASE deployment is
-//!    neither starved nor idle) and the SLA (the BASE deployment's measured
-//!    p95, which is *not* relaxed when GPUs get partitioned);
+//! 1. derive the workload: the base rate at which the BASE deployment is
+//!    neither starved nor idle, shaped by the configured
+//!    [`WorkloadKind`] (the paper's Poisson by default; diurnal, MMPP,
+//!    flash-crowd and trace-replay scenarios via
+//!    [`ExperimentConfigBuilder::workload`]), and the SLA (the BASE
+//!    deployment's measured p95, which is *not* relaxed when GPUs get
+//!    partitioned);
 //! 2. each hour, observe the grid; if intensity drifted more than 5% since
 //!    the last optimization (or at start-up), invoke the scheme's scheduler
 //!    — its live evaluation windows and reconfiguration downtime are charged
@@ -24,11 +28,14 @@ use crate::anneal::{EvalRecord, SaParams};
 use crate::eval::DesEvaluator;
 use crate::objective::{MeasuredPoint, Objective};
 use crate::schedulers::{make_scheduler, SchedulerCtx, SchemeKind};
-use clover_carbon::{CarbonIntensity, CarbonLedger, CarbonMonitor, CarbonTrace, Energy, Pue, Region};
+use clover_carbon::{
+    CarbonIntensity, CarbonLedger, CarbonMonitor, CarbonTrace, Energy, Pue, Region,
+};
+use clover_models::zoo::Application;
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
 use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
-use clover_models::zoo::Application;
+use clover_workload::{Workload, WorkloadKind};
 use serde::{Deserialize, Serialize};
 
 /// Where the carbon intensity comes from.
@@ -49,6 +56,9 @@ pub struct ExperimentConfig {
     pub scheme: SchemeKind,
     /// Carbon-intensity source.
     pub trace: TraceSource,
+    /// Traffic scenario; the shape is bound to the derived base rate (the
+    /// paper evaluates under `Poisson` only).
+    pub workload: WorkloadKind,
     /// GPUs provisioned to the service.
     pub n_gpus: usize,
     /// GPUs used to derive the workload rate and SLA (stays at the paper's
@@ -82,6 +92,7 @@ impl ExperimentConfig {
                 app,
                 scheme: SchemeKind::Clover,
                 trace: TraceSource::Region(Region::CisoMarch),
+                workload: WorkloadKind::Poisson,
                 n_gpus: 10,
                 reference_gpus: 0, // 0 = follow n_gpus
                 horizon_hours: 48.0,
@@ -119,6 +130,12 @@ impl ExperimentConfigBuilder {
     /// Uses a constant carbon intensity (gCO₂/kWh).
     pub fn constant_ci(mut self, g_per_kwh: f64) -> Self {
         self.cfg.trace = TraceSource::Constant(g_per_kwh);
+        self
+    }
+
+    /// Sets the traffic scenario (default: the paper's Poisson).
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.cfg.workload = kind;
         self
     }
 
@@ -225,6 +242,8 @@ pub struct ExperimentOutcome {
     pub app: String,
     /// Trace label.
     pub trace: String,
+    /// Workload (traffic scenario) label.
+    pub workload: String,
     /// Provisioned GPUs.
     pub n_gpus: usize,
     /// λ used.
@@ -308,8 +327,10 @@ pub struct Experiment {
     family: ModelFamily,
     perf: PerfModel,
     trace: CarbonTrace,
-    /// Offered Poisson rate, req/s.
+    /// Offered base (long-run mean) rate, req/s.
     pub rate_rps: f64,
+    /// The traffic scenario bound to the derived base rate.
+    pub workload: Workload,
     /// The derived objective (λ, C_base, A_base, SLA).
     pub objective: Objective,
     /// Measured BASE energy per request at calibration, joules.
@@ -333,18 +354,17 @@ impl Experiment {
         let base_ref = Deployment::base(&family, cfg.reference_gpus);
         let capacity = analytic::estimate(&family, &perf, &base_ref, 1.0).capacity_rps;
         let rate_rps = capacity * cfg.utilization_target;
+        let workload = Workload::new(cfg.workload.clone(), rate_rps);
 
-        // Calibration window: measures BASE p95 (the SLA) and C_base.
-        let mut calib = ServingSim::new(
-            family.clone(),
-            perf,
-            base_ref,
-            cfg.seed ^ 0xCA11_B007,
-        );
+        // Calibration window: measures BASE p95 (the SLA) and C_base. The
+        // window is long enough that the p95 estimate's sampling noise sits
+        // well inside the SLA headroom — a short calibration can
+        // underestimate the tail and leave BASE violating its own SLA.
+        let mut calib = ServingSim::new(family.clone(), perf, base_ref, cfg.seed ^ 0xCA11_B007);
         let w = calib.run_window(
             rate_rps,
-            SimDuration::from_secs(40.0),
-            SimDuration::from_secs(8.0),
+            SimDuration::from_secs(160.0),
+            SimDuration::from_secs(16.0),
         );
         let base_energy = w.energy_per_request_j().expect("calibration served");
         let sla = w.p95_latency_s * cfg.sla_headroom;
@@ -363,6 +383,7 @@ impl Experiment {
             perf,
             trace,
             rate_rps,
+            workload,
             objective,
             base_energy_per_request_j: base_energy,
         }
@@ -401,8 +422,12 @@ impl Experiment {
         let mut ledger = CarbonLedger::new(self.trace.clone(), pue);
         let mut base_ledger = CarbonLedger::new(self.trace.clone(), pue);
 
-        let mut sim =
-            ServingSim::new(self.family.clone(), self.perf, initial.clone(), cfg.seed ^ 0x11);
+        let mut sim = ServingSim::new(
+            self.family.clone(),
+            self.perf,
+            initial.clone(),
+            cfg.seed ^ 0x11,
+        );
         let base_ref = Deployment::base(&self.family, cfg.reference_gpus);
         let mut base_sim =
             ServingSim::new(self.family.clone(), self.perf, base_ref, cfg.seed ^ 0x22);
@@ -425,11 +450,19 @@ impl Experiment {
             let ci = event.current;
 
             if hour == 0 || event.triggered || sla_violated_last_hour {
+                // Candidates are evaluated at the demand the workload
+                // forecasts for this hour (the constant offered rate under
+                // the paper's Poisson workload; floored above zero so the
+                // measurement windows stay well-defined when a trace has
+                // run dry).
+                evaluator.rate_rps = self.workload.planning_rate_at(t);
                 let mut ctx = SchedulerCtx {
                     family: &self.family,
                     perf: &self.perf,
                     objective: &self.objective,
                     ci,
+                    now: t,
+                    workload: &self.workload,
                     evaluator: &mut evaluator,
                     rng: &mut rng,
                 };
@@ -459,8 +492,10 @@ impl Experiment {
                 sim.set_deployment(decision.deployment);
             }
 
-            // Representative serving window for this hour.
-            let w = sim.run_window(self.rate_rps, window, warmup);
+            // Representative serving window for this hour, driven by the
+            // workload's arrival process anchored at the hour's start.
+            let mut arrivals = self.workload.process_from(t);
+            let w = sim.run_window_with(arrivals.as_mut(), window, warmup);
             Self::accumulate(
                 &mut ledger,
                 &mut hist,
@@ -471,29 +506,41 @@ impl Experiment {
                 scale,
             );
 
-            sla_violated_last_hour = w.p95_latency_s > self.objective.l_tail_s
-                && self.cfg.scheme.is_carbon_aware();
+            sla_violated_last_hour =
+                w.p95_latency_s > self.objective.l_tail_s && self.cfg.scheme.is_carbon_aware();
             let hour_acc = w
                 .accuracy_pct(&self.family)
                 .unwrap_or(self.family.accuracy_base());
             let hour_energy = w.energy_per_request_j().unwrap_or(f64::NAN);
-            let point = MeasuredPoint {
-                accuracy_pct: hour_acc,
-                energy_per_request_j: hour_energy,
-                p95_latency_s: w.p95_latency_s,
+            // An hour that served nothing (e.g. a non-looping trace that
+            // ran dry mid-horizon) has no per-request metrics; its
+            // timeline entries stay NaN instead of reaching the objective.
+            let (objective_f, carbon_save_pct) = if hour_energy.is_finite() {
+                let point = MeasuredPoint {
+                    accuracy_pct: hour_acc,
+                    energy_per_request_j: hour_energy,
+                    p95_latency_s: w.p95_latency_s,
+                };
+                (
+                    self.objective.f(&point, ci),
+                    self.objective.delta_carbon_pct(hour_energy, ci),
+                )
+            } else {
+                (f64::NAN, f64::NAN)
             };
             timeline.push(HourPoint {
                 hour,
                 ci_g_per_kwh: ci.g_per_kwh(),
-                objective_f: self.objective.f(&point, ci),
+                objective_f,
                 accuracy_pct: hour_acc,
                 p95_s: w.p95_latency_s,
                 energy_per_request_j: hour_energy,
-                carbon_save_pct: self.objective.delta_carbon_pct(hour_energy, ci),
+                carbon_save_pct,
             });
 
-            // Synchronized BASE reference hour.
-            let bw = base_sim.run_window(self.rate_rps, window, warmup);
+            // Synchronized BASE reference hour, under the same workload.
+            let mut base_arrivals = self.workload.process_from(t);
+            let bw = base_sim.run_window_with(base_arrivals.as_mut(), window, warmup);
             base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * scale));
             base_hist.merge(&bw.latency_hist);
             base_served_scaled += bw.served as f64 * scale;
@@ -509,9 +556,7 @@ impl Experiment {
                 per_variant
                     .iter()
                     .enumerate()
-                    .map(|(i, &n)| {
-                        self.family.variants[i].accuracy_pct * n
-                    })
+                    .map(|(i, &n)| self.family.variants[i].accuracy_pct * n)
                     .sum::<f64>()
                     / total
             }
@@ -543,6 +588,7 @@ impl Experiment {
                 TraceSource::Region(r) => r.to_string(),
                 TraceSource::Constant(v) => format!("constant {v} gCO2/kWh"),
             },
+            workload: self.workload.label().to_string(),
             n_gpus: cfg.n_gpus,
             lambda: cfg.lambda,
             horizon_hours: cfg.horizon_hours,
@@ -620,20 +666,32 @@ mod tests {
     #[test]
     fn co2opt_saves_most_carbon_with_most_accuracy_loss() {
         let out = quick(SchemeKind::Co2Opt);
-        assert!(out.carbon_saving_pct > 70.0, "saving {}", out.carbon_saving_pct);
+        assert!(
+            out.carbon_saving_pct > 70.0,
+            "saving {}",
+            out.carbon_saving_pct
+        );
         assert!(
             out.accuracy_loss_pct > 4.0,
             "loss {}",
             out.accuracy_loss_pct
         );
-        assert!(out.sla_met, "CO2OPT p95 {} vs SLA {}", out.p95_s, out.sla_p95_s);
+        assert!(
+            out.sla_met,
+            "CO2OPT p95 {} vs SLA {}",
+            out.p95_s, out.sla_p95_s
+        );
     }
 
     #[test]
     fn clover_balances_carbon_and_accuracy() {
         let out = quick(SchemeKind::Clover);
         let co2 = quick(SchemeKind::Co2Opt);
-        assert!(out.carbon_saving_pct > 50.0, "saving {}", out.carbon_saving_pct);
+        assert!(
+            out.carbon_saving_pct > 50.0,
+            "saving {}",
+            out.carbon_saving_pct
+        );
         assert!(
             out.accuracy_loss_pct < co2.accuracy_loss_pct,
             "clover loss {} vs co2opt {}",
@@ -653,8 +711,7 @@ mod tests {
         assert_eq!(out.timeline.len(), 6);
         let windows = out.opt_fraction_by_window(2.0);
         assert_eq!(windows.len(), 3);
-        let total_from_windows: f64 =
-            windows.iter().map(|f| f * 2.0 * 3600.0).sum();
+        let total_from_windows: f64 = windows.iter().map(|f| f * 2.0 * 3600.0).sum();
         assert!((total_from_windows - out.optimization_time_s).abs() < 1e-6);
         assert!(out.evals_sla_ok() <= out.evals_total());
     }

@@ -188,7 +188,11 @@ mod tests {
         // editing (i) -> (ii) removes three weight-1 edges and adds edges of
         // weight 1, 2 and 2... Our L1 formulation reproduces the paper's
         // stated distances: 8 between dissimilar graphs, 3 between similar.
-        let gi = graph_of(&[(0, SliceType::G3, 1), (1, SliceType::G2, 1), (2, SliceType::G1, 1)]);
+        let gi = graph_of(&[
+            (0, SliceType::G3, 1),
+            (1, SliceType::G2, 1),
+            (2, SliceType::G1, 1),
+        ]);
         // Dissimilar: all three instances moved to different (variant,slice)
         // pairs, e.g. V2 on 3g x2 ... choose weights that give GED 8.
         let gii = graph_of(&[

@@ -156,7 +156,11 @@ mod tests {
             (o.delta_carbon_pct(e, CarbonIntensity::from_g_per_kwh(500.0)) - 50.0).abs() < 1e-9
         );
         // At 1000 g/kWh the candidate matches the baseline: 0%.
-        assert!(o.delta_carbon_pct(e, CarbonIntensity::from_g_per_kwh(1000.0)).abs() < 1e-9);
+        assert!(
+            o.delta_carbon_pct(e, CarbonIntensity::from_g_per_kwh(1000.0))
+                .abs()
+                < 1e-9
+        );
     }
 
     #[test]

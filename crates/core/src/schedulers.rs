@@ -24,7 +24,8 @@ use clover_carbon::CarbonIntensity;
 use clover_mig::{MigConfig, Partitioning, SliceType};
 use clover_models::{ModelFamily, PerfModel, VariantId};
 use clover_serving::{Deployment, ServingSim};
-use clover_simkit::{SimDuration, SimRng};
+use clover_simkit::{SimDuration, SimRng, SimTime};
+use clover_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -98,6 +99,11 @@ pub struct SchedulerCtx<'a> {
     pub objective: &'a Objective,
     /// Carbon intensity right now.
     pub ci: CarbonIntensity,
+    /// Global simulation time of this invocation.
+    pub now: SimTime,
+    /// The offered workload; schedulers query its demand forecast
+    /// (`rate_at`, `windowed_mean`) to plan for the coming period.
+    pub workload: &'a Workload,
     /// Live evaluator (charged measurement windows).
     pub evaluator: &'a mut DesEvaluator,
     /// Scheduler-owned randomness.
@@ -129,10 +135,7 @@ pub fn make_scheduler(
             kind,
             deployment: Deployment::co2opt(family, n_gpus),
         }),
-        SchemeKind::Blover => Box::new(BloverScheduler {
-            n_gpus,
-            params: sa,
-        }),
+        SchemeKind::Blover => Box::new(BloverScheduler { n_gpus, params: sa }),
         SchemeKind::Clover => Box::new(CloverScheduler {
             best: Deployment::base(family, n_gpus),
             params: sa,
@@ -165,11 +168,7 @@ impl Scheduler for StaticScheduler {
 }
 
 /// Draws a uniformly random raw `(x_p, x_v)` configuration.
-pub fn random_raw_deployment(
-    family: &ModelFamily,
-    n_gpus: usize,
-    rng: &mut SimRng,
-) -> Deployment {
+pub fn random_raw_deployment(family: &ModelFamily, n_gpus: usize, rng: &mut SimRng) -> Deployment {
     loop {
         let configs: Vec<MigConfig> = (0..n_gpus)
             .map(|_| MigConfig::new(rng.range_usize(1, MigConfig::COUNT + 1) as u8))
@@ -251,15 +250,16 @@ impl Scheduler for CloverScheduler {
         let family = ctx.family.clone();
         let sampler = self.sampler;
         let perf = *ctx.perf;
-        let rate = ctx.evaluator.rate_rps;
+        // Plan for the demand the workload forecasts right now (for the
+        // paper's Poisson workload this equals the constant offered rate).
+        let rate = ctx.workload.planning_rate_at(ctx.now);
         let l_tail = ctx.objective.l_tail_s;
         let evaluator = &mut *ctx.evaluator;
         // Emergency recovery: if the warm-start center cannot even sustain
         // the offered load (e.g. the service was re-provisioned onto fewer
         // GPUs), widen the termination rule so one invocation can climb out
         // of overload instead of stopping after five local misses.
-        let start_est =
-            clover_serving::analytic::estimate(&family, &perf, &self.best, rate);
+        let start_est = clover_serving::analytic::estimate(&family, &perf, &self.best, rate);
         let params = if start_est.stable && start_est.p95_latency_s <= l_tail * 2.0 {
             self.params
         } else {
@@ -535,6 +535,7 @@ mod tests {
         ModelFamily,
         PerfModel,
         Objective,
+        Workload,
         DesEvaluator,
         SimRng,
     ) {
@@ -548,18 +549,27 @@ mod tests {
         let c_base = Objective::carbon_per_request_g(est.energy_per_request_j, ci_ref);
         let objective = Objective::new(fam.accuracy_base(), c_base, est.p95_latency_s * 1.2);
         let evaluator = DesEvaluator::new(fam.clone(), perf, rate, base, 7);
-        (fam, perf, objective, evaluator, SimRng::new(77))
+        (
+            fam,
+            perf,
+            objective,
+            Workload::poisson(rate),
+            evaluator,
+            SimRng::new(77),
+        )
     }
 
     #[test]
     fn static_schemes_never_change() {
-        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
         for kind in [SchemeKind::Base, SchemeKind::Co2Opt] {
             let mut s = make_scheduler(kind, &fam, 2, SaParams::default());
             let mut ctx = SchedulerCtx {
                 family: &fam,
                 perf: &perf,
                 objective: &objective,
+                now: SimTime::ZERO,
+                workload: &workload,
                 ci: CarbonIntensity::from_g_per_kwh(100.0),
                 evaluator: &mut evaluator,
                 rng: &mut rng,
@@ -569,6 +579,8 @@ mod tests {
                 family: &fam,
                 perf: &perf,
                 objective: &objective,
+                now: SimTime::ZERO,
+                workload: &workload,
                 ci: CarbonIntensity::from_g_per_kwh(400.0),
                 evaluator: &mut evaluator,
                 rng: &mut rng,
@@ -581,12 +593,14 @@ mod tests {
 
     #[test]
     fn clover_finds_carbon_saving_config() {
-        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
         let mut s = make_scheduler(SchemeKind::Clover, &fam, 2, SaParams::default());
         let mut ctx = SchedulerCtx {
             family: &fam,
             perf: &perf,
             objective: &objective,
+            now: SimTime::ZERO,
+            workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(300.0),
             evaluator: &mut evaluator,
             rng: &mut rng,
@@ -600,12 +614,14 @@ mod tests {
 
     #[test]
     fn oracle_switches_with_intensity() {
-        let (fam, perf, objective, mut evaluator, mut rng) = ctx_fixture(0.6);
+        let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
         let mut s = make_scheduler(SchemeKind::Oracle, &fam, 2, SaParams::default());
         let mut ctx_hi = SchedulerCtx {
             family: &fam,
             perf: &perf,
             objective: &objective,
+            now: SimTime::ZERO,
+            workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(450.0),
             evaluator: &mut evaluator,
             rng: &mut rng,
@@ -616,6 +632,8 @@ mod tests {
             family: &fam,
             perf: &perf,
             objective: &objective,
+            now: SimTime::ZERO,
+            workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(60.0),
             evaluator: &mut evaluator,
             rng: &mut rng,
@@ -625,12 +643,8 @@ mod tests {
         // a configuration with higher accuracy than the high-intensity pick.
         let fam2 = efficientnet();
         let acc = |d: &Deployment| {
-            clover_models::capacity_weighted_accuracy(
-                &fam2,
-                &PerfModel::a100(),
-                &d.instances(),
-            )
-            .unwrap()
+            clover_models::capacity_weighted_accuracy(&fam2, &PerfModel::a100(), &d.instances())
+                .unwrap()
         };
         assert!(
             acc(&lo.deployment) >= acc(&hi.deployment),

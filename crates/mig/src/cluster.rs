@@ -263,7 +263,13 @@ mod tests {
         let p = Partitioning::new(vec![MigConfig::new(3), MigConfig::new(1)]);
         let slices = p.slices();
         assert_eq!(slices.len(), 4);
-        assert_eq!(slices[0].id, SliceId { gpu: GpuId(0), slot: 0 });
+        assert_eq!(
+            slices[0].id,
+            SliceId {
+                gpu: GpuId(0),
+                slot: 0
+            }
+        );
         assert_eq!(slices[0].ty, SliceType::G4);
         assert_eq!(slices[2].ty, SliceType::G1);
         assert_eq!(slices[3].id.gpu, GpuId(1));

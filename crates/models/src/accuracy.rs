@@ -69,11 +69,8 @@ mod tests {
     fn served_weighting() {
         let fam = efficientnet();
         // 3 parts B1 (79.1), 1 part B7 (84.3).
-        let acc = served_weighted_accuracy(
-            &fam,
-            &[(VariantId(0), 300), (VariantId(3), 100)],
-        )
-        .unwrap();
+        let acc =
+            served_weighted_accuracy(&fam, &[(VariantId(0), 300), (VariantId(3), 100)]).unwrap();
         let expected = (79.1 * 300.0 + 84.3 * 100.0) / 400.0;
         assert!((acc - expected).abs() < 1e-12);
     }
@@ -82,11 +79,11 @@ mod tests {
     fn empty_counts_are_none() {
         let fam = efficientnet();
         assert_eq!(served_weighted_accuracy(&fam, &[]), None);
+        assert_eq!(served_weighted_accuracy(&fam, &[(VariantId(0), 0)]), None);
         assert_eq!(
-            served_weighted_accuracy(&fam, &[(VariantId(0), 0)]),
+            capacity_weighted_accuracy(&fam, &PerfModel::a100(), &[]),
             None
         );
-        assert_eq!(capacity_weighted_accuracy(&fam, &PerfModel::a100(), &[]), None);
     }
 
     #[test]

@@ -200,10 +200,7 @@ mod tests {
     fn fitting_filters_oom() {
         let fam = toy_family();
         assert_eq!(fam.fitting(SliceType::G1), vec![VariantId(0)]);
-        assert_eq!(
-            fam.fitting(SliceType::G7),
-            vec![VariantId(0), VariantId(1)]
-        );
+        assert_eq!(fam.fitting(SliceType::G7), vec![VariantId(0), VariantId(1)]);
     }
 
     #[test]

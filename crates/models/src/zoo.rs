@@ -348,6 +348,9 @@ mod tests {
     #[test]
     fn labels() {
         assert_eq!(Application::ObjectDetection.label(), "Detection");
-        assert_eq!(Application::ImageClassification.to_string(), "Classification");
+        assert_eq!(
+            Application::ImageClassification.to_string(),
+            "Classification"
+        );
     }
 }

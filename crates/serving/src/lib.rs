@@ -7,9 +7,11 @@
 //!
 //! - [`deployment`] — the concrete `(x_p, x_v)` configuration, with BASE and
 //!   CO2OPT constructors and OOM validation.
-//! - [`sim`] — the event-driven simulator: open-loop Poisson arrivals, FIFO
-//!   dispatch to free instances (fastest first), p95 latency tracking,
-//!   energy integration (dynamic + idle + static).
+//! - [`sim`] — the event-driven simulator: pluggable arrival processes from
+//!   `clover_workload` (open-loop Poisson by default; diurnal, MMPP,
+//!   flash-crowd and trace-replay via [`ServingSim::run_window_with`]),
+//!   FIFO dispatch to free instances, p95 latency tracking, energy
+//!   integration (dynamic + idle + static).
 //! - [`analytic`] — M/M/c-style steady-state estimates (stability, p95,
 //!   accuracy, energy per request) for cheap configuration screening.
 

@@ -2,9 +2,16 @@
 //!
 //! Models the paper's load-balancer architecture (Sec. 4.3): a producer
 //! accepts user queries into a FIFO queue; whenever a service instance
-//! finishes, it notifies the consumer, which feeds it the queue head. User
-//! queries are open-loop Poisson (Sec. 5.1). Request latency is queueing
-//! wait plus service time; SLA is the p95 tail.
+//! finishes, it notifies the consumer, which feeds it the queue head.
+//! Request latency is queueing wait plus service time; SLA is the p95 tail.
+//!
+//! Arrivals come from any [`ArrivalProcess`] (the paper's open-loop Poisson
+//! of Sec. 5.1 is [`ServingSim::run_window`]'s default; diurnal, bursty and
+//! trace-replay scenarios plug in through
+//! [`ServingSim::run_window_with`]). Arrival and service randomness live on
+//! separate named sub-streams of the window's RNG (see [`stream`]), so
+//! swapping the arrival process never perturbs service jitter and vice
+//! versa.
 //!
 //! Energy is integrated alongside: each completed request charges its
 //! slice's busy power for its (jittered) service time, idle slices draw a
@@ -15,8 +22,25 @@
 use crate::deployment::Deployment;
 use clover_models::{ModelFamily, PerfModel, VariantId};
 use clover_simkit::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+use clover_workload::{ArrivalProcess, PoissonProcess};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Named RNG sub-streams of one serving window.
+///
+/// Each window forks one window generator off the simulator's root stream
+/// and derives these independent sub-streams from it via
+/// [`SimRng::substream`] — a non-advancing derivation, so adding a new
+/// label here can never perturb the draws of the existing streams (and
+/// hence never changes existing seeded results).
+pub mod stream {
+    /// Arrival-process randomness: inter-arrival sampling, thinning
+    /// acceptance, MMPP state transitions.
+    pub const ARRIVALS: u64 = 0xA121;
+    /// Service-side randomness: dispatch among idle instances and
+    /// service-time jitter.
+    pub const SERVICE: u64 = 0x5EB1;
+}
 
 /// Requests queued beyond this bound are dropped (an overloaded deployment
 /// such as BASE on 2 GPUs would otherwise grow the queue without limit).
@@ -163,8 +187,7 @@ impl ServingSim {
 
     /// Simulates an open-loop Poisson workload at `rate_rps` for
     /// `warmup + window`, measuring only requests that arrive after the
-    /// warmup. The system starts empty; completions of measured arrivals
-    /// are drained past the horizon so the tail is not censored.
+    /// warmup — the paper's Sec. 5.1 setup, kept as the default path.
     pub fn run_window(
         &mut self,
         rate_rps: f64,
@@ -172,7 +195,25 @@ impl ServingSim {
         warmup: SimDuration,
     ) -> WindowMetrics {
         assert!(rate_rps > 0.0, "non-positive arrival rate");
-        let mut rng = self.rng.fork(0x5e7);
+        let mut arrivals = PoissonProcess::new(rate_rps);
+        self.run_window_with(&mut arrivals, window, warmup)
+    }
+
+    /// Simulates `warmup + window` of traffic drawn from `arrivals`,
+    /// measuring only requests that arrive after the warmup. The system
+    /// starts empty; completions of measured arrivals are drained past the
+    /// horizon so the tail is not censored. A finite arrival process (a
+    /// non-looping trace that ends mid-window) simply stops producing
+    /// traffic.
+    pub fn run_window_with(
+        &mut self,
+        arrivals: &mut dyn ArrivalProcess,
+        window: SimDuration,
+        warmup: SimDuration,
+    ) -> WindowMetrics {
+        let window_rng = self.rng.fork(0x5e7);
+        let mut arrival_rng = window_rng.substream(stream::ARRIVALS);
+        let mut service_rng = window_rng.substream(stream::SERVICE);
         let instances_spec = self.deployment.instances();
         let m = instances_spec.len();
         assert!(m > 0, "deployment with no instances");
@@ -216,19 +257,17 @@ impl ServingSim {
         let mut dynamic_j = 0.0f64;
         let jitter_sigma = SERVICE_JITTER_SIGMA;
 
-        q.schedule(
-            SimTime::from_secs(rng.exponential(rate_rps)),
-            Ev::Arrive,
-        );
+        if let Some(first) = arrivals.next_after(SimTime::ZERO, &mut arrival_rng) {
+            q.schedule(first, Ev::Arrive);
+        }
 
         while let Some((now, ev)) = q.pop() {
             match ev {
                 Ev::Arrive => {
                     if now <= horizon {
-                        q.schedule_in(
-                            SimDuration::from_secs(rng.exponential(rate_rps)),
-                            Ev::Arrive,
-                        );
+                        if let Some(next) = arrivals.next_after(now, &mut arrival_rng) {
+                            q.schedule(next, Ev::Arrive);
+                        }
                     } else {
                         continue; // past the horizon: stop generating
                     }
@@ -236,14 +275,14 @@ impl ServingSim {
                         arrived += 1;
                     }
                     if !idle.is_empty() {
-                        let i = idle.swap_remove(rng.below(idle.len()));
+                        let i = idle.swap_remove(service_rng.below(idle.len()));
                         Self::start_service(
                             &mut instances[i as usize],
                             i,
                             now,
                             now,
                             jitter_sigma,
-                            &mut rng,
+                            &mut service_rng,
                             &mut q,
                         );
                     } else if fifo.len() < MAX_QUEUE {
@@ -276,7 +315,7 @@ impl ServingSim {
                             now,
                             next_arrival,
                             jitter_sigma,
-                            &mut rng,
+                            &mut service_rng,
                             &mut q,
                         );
                     } else {
@@ -296,12 +335,11 @@ impl ServingSim {
             idle_j += inst.idle_w * (span_s - inst.busy_in_span_s).max(0.0);
             busy_integral += inst.busy_in_span_s;
         }
-        let static_j =
-            self.perf.power.gpu_static_w() * self.deployment.n_gpus() as f64 * span_s;
+        let static_j = self.perf.power.gpu_static_w() * self.deployment.n_gpus() as f64 * span_s;
 
         WindowMetrics {
             span_s,
-            offered_rps: rate_rps,
+            offered_rps: arrivals.mean_rate(),
             arrived,
             served,
             completed_in_span,
@@ -333,7 +371,10 @@ impl ServingSim {
         // Lognormal jitter with unit mean.
         let jitter = (jitter_sigma * rng.normal() - 0.5 * jitter_sigma * jitter_sigma).exp();
         let service = inst.mean_service_s * jitter;
-        q.schedule_in(SimDuration::from_secs(service), Ev::Done { instance: index });
+        q.schedule_in(
+            SimDuration::from_secs(service),
+            Ev::Done { instance: index },
+        );
         // Busy intervals can straddle the span edges; remember the exact
         // interval and clip it to the measured span at completion.
         inst.pending_interval = Some((now.as_secs(), now.as_secs() + service));
@@ -357,8 +398,8 @@ impl Instance {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use clover_models::zoo::efficientnet;
     use clover_mig::MigConfig;
+    use clover_models::zoo::efficientnet;
 
     fn quick_window(
         deployment: Deployment,
@@ -476,6 +517,86 @@ mod tests {
         assert!(acc > 79.1 && acc < 84.3, "mixture accuracy {acc}");
         assert!(w.per_variant_served[0] > 0);
         assert!(w.per_variant_served[3] > 0);
+    }
+
+    #[test]
+    fn poisson_process_path_is_identical_to_legacy_rate_path() {
+        // The rate-based API is a thin wrapper over run_window_with with a
+        // PoissonProcess; both APIs must yield bit-identical windows so the
+        // default scenario cannot drift from the generic path.
+        let fam = efficientnet();
+        let d = Deployment::base(&fam, 2);
+        let mut a = ServingSim::new(fam.clone(), PerfModel::a100(), d.clone(), 7);
+        let mut b = ServingSim::new(fam.clone(), PerfModel::a100(), d, 7);
+        let window = SimDuration::from_secs(20.0);
+        let warmup = SimDuration::from_secs(2.0);
+        let wa = a.run_window(100.0, window, warmup);
+        let mut p = clover_workload::PoissonProcess::new(100.0);
+        let wb = b.run_window_with(&mut p, window, warmup);
+        assert_eq!(wa.arrived, wb.arrived);
+        assert_eq!(wa.served, wb.served);
+        assert_eq!(wa.p95_latency_s, wb.p95_latency_s);
+        assert_eq!(wa.dynamic_energy_j, wb.dynamic_energy_j);
+        assert_eq!(wa.offered_rps, wb.offered_rps);
+    }
+
+    #[test]
+    fn workload_windows_run_and_are_seed_deterministic() {
+        use clover_workload::{Workload, WorkloadKind};
+        let fam = efficientnet();
+        for kind in [
+            WorkloadKind::diurnal(),
+            WorkloadKind::mmpp(),
+            WorkloadKind::flash_crowd(),
+        ] {
+            let wl = Workload::new(kind, 120.0);
+            let run = |seed: u64| {
+                let mut sim = ServingSim::new(
+                    fam.clone(),
+                    PerfModel::a100(),
+                    Deployment::base(&fam, 2),
+                    seed,
+                );
+                let mut p = wl.process_from(SimTime::from_hours(1.0));
+                sim.run_window_with(
+                    p.as_mut(),
+                    SimDuration::from_secs(30.0),
+                    SimDuration::from_secs(3.0),
+                )
+            };
+            let a = run(5);
+            let b = run(5);
+            let c = run(6);
+            assert!(a.served > 0, "{}: nothing served", wl.label());
+            assert_eq!(a.served, b.served, "{}", wl.label());
+            assert_eq!(a.p95_latency_s, b.p95_latency_s, "{}", wl.label());
+            assert_ne!(
+                (a.arrived, a.dynamic_energy_j),
+                (c.arrived, c.dynamic_energy_j),
+                "{}: seed 6 repeated seed 5 exactly",
+                wl.label()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_replay_window_arrivals_are_exact() {
+        use clover_workload::{ArrivalTrace, TraceReplayProcess};
+        let fam = efficientnet();
+        let d = Deployment::base(&fam, 2);
+        // 40 arrivals inside the measured span (warmup 2 s, window 20 s).
+        let times: Vec<f64> = (0..40).map(|i| 2.5 + i as f64 * 0.45).collect();
+        let trace = ArrivalTrace::new(times, 25.0);
+        let mut sim = ServingSim::new(fam, PerfModel::a100(), d, 9);
+        let mut p = TraceReplayProcess::new(trace, SimTime::ZERO, false);
+        let w = sim.run_window_with(
+            &mut p,
+            SimDuration::from_secs(20.0),
+            SimDuration::from_secs(2.0),
+        );
+        assert_eq!(w.arrived, 40);
+        assert_eq!(w.served, 40);
+        assert_eq!(w.dropped, 0);
     }
 
     #[test]

@@ -160,17 +160,15 @@ impl P2Quantile {
                 let d = d.signum();
                 let hp = (self.heights[i + 1] - self.heights[i]) / dp;
                 let hm = (self.heights[i - 1] - self.heights[i]) / dm;
-                let parabolic =
-                    self.heights[i] + d / (dp - dm) * ((d - dm) * hp + (dp - d) * hm);
-                self.heights[i] = if self.heights[i - 1] < parabolic
-                    && parabolic < self.heights[i + 1]
-                {
-                    parabolic
-                } else if d > 0.0 {
-                    self.heights[i] + hp
-                } else {
-                    self.heights[i] - hm
-                };
+                let parabolic = self.heights[i] + d / (dp - dm) * ((d - dm) * hp + (dp - d) * hm);
+                self.heights[i] =
+                    if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                        parabolic
+                    } else if d > 0.0 {
+                        self.heights[i] + hp
+                    } else {
+                        self.heights[i] - hm
+                    };
                 self.positions[i] += d;
             }
         }

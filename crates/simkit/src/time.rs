@@ -235,7 +235,10 @@ mod tests {
         let mut u = SimTime::ZERO;
         u += SimDuration::from_secs(3.0);
         assert_eq!(u.as_secs(), 3.0);
-        assert_eq!((SimDuration::from_secs(4.0) / SimDuration::from_secs(2.0)), 2.0);
+        assert_eq!(
+            (SimDuration::from_secs(4.0) / SimDuration::from_secs(2.0)),
+            2.0
+        );
         assert_eq!((SimDuration::from_secs(4.0) * 0.5).as_secs(), 2.0);
     }
 
@@ -261,9 +264,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs(3.0),
+        let mut v = [
+            SimTime::from_secs(3.0),
             SimTime::from_secs(1.0),
-            SimTime::from_secs(2.0)];
+            SimTime::from_secs(2.0),
+        ];
         v.sort();
         assert_eq!(v[0].as_secs(), 1.0);
         assert_eq!(v[2].as_secs(), 3.0);

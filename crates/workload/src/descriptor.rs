@@ -1,0 +1,555 @@
+//! Workload descriptors: the serializable scenario parameterization that
+//! rides inside experiment configs, and the bound [`Workload`] that turns
+//! it into arrival processes and demand forecasts.
+//!
+//! A [`WorkloadKind`] describes traffic **shape** only; intensity comes from
+//! the base rate the experiment derives (in the paper's methodology, the
+//! rate at which the BASE deployment sits at its utilization target). Every
+//! synthetic shape is normalized so its long-run mean equals that base rate,
+//! and trace replays are rescaled to it — experiments under different
+//! scenarios then serve the same total demand, shaped differently, which
+//! keeps carbon-per-request comparisons meaningful.
+
+use crate::process::{
+    ArrivalProcess, MmppProcess, NhppProcess, PoissonProcess, TraceReplayProcess,
+};
+use crate::rate::RateCurve;
+use crate::trace_io::ArrivalTrace;
+use clover_simkit::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// The traffic scenarios the serving stack can be driven with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// Open-loop homogeneous Poisson arrivals (the paper's Sec. 5.1 setup).
+    Poisson,
+    /// Diurnal sinusoid: smooth day/night swing around the base rate.
+    Diurnal {
+        /// Peak deviation as a fraction of the base rate, in `[0, 1]`.
+        amplitude_frac: f64,
+        /// Cycle length, hours (24 for a day).
+        period_hours: f64,
+        /// Phase shift, hours.
+        phase_hours: f64,
+    },
+    /// Non-homogeneous Poisson through piecewise-linear rate control points
+    /// `(time_hours, relative_rate)`; the shape is normalized so its mean
+    /// relative rate becomes 1 (i.e. the base rate).
+    PiecewiseLinear {
+        /// Control points, ascending in time.
+        points: Vec<(f64, f64)>,
+    },
+    /// Markov-modulated Poisson: calm traffic with exponential bursts.
+    Mmpp {
+        /// Burst-state rate as a multiple of the calm-state rate (> 1).
+        burst_mult: f64,
+        /// Mean burst sojourn, seconds.
+        mean_burst_s: f64,
+        /// Mean calm sojourn, seconds.
+        mean_calm_s: f64,
+    },
+    /// Flash crowd: baseline with a recurring trapezoid spike.
+    FlashCrowd {
+        /// Peak multiplier during the spike (> 1).
+        spike_mult: f64,
+        /// Spike recurrence period, hours.
+        period_hours: f64,
+        /// Ramp-up (= ramp-down) duration, seconds.
+        ramp_s: f64,
+        /// Plateau duration at the peak, seconds.
+        hold_s: f64,
+    },
+    /// Deterministic replay of a recorded arrival trace, rescaled to the
+    /// base rate.
+    Replay {
+        /// The recorded trace.
+        trace: ArrivalTrace,
+        /// Extend the trace periodically past its span.
+        looping: bool,
+    },
+}
+
+impl WorkloadKind {
+    /// Diurnal defaults: ±60% swing over a 24-hour cycle, morning trough.
+    pub fn diurnal() -> Self {
+        WorkloadKind::Diurnal {
+            amplitude_frac: 0.6,
+            period_hours: 24.0,
+            phase_hours: 0.0,
+        }
+    }
+
+    /// MMPP defaults: 4× bursts, 2-minute bursts every ~10 minutes.
+    pub fn mmpp() -> Self {
+        WorkloadKind::Mmpp {
+            burst_mult: 4.0,
+            mean_burst_s: 120.0,
+            mean_calm_s: 480.0,
+        }
+    }
+
+    /// Flash-crowd defaults: 5× spike every 2 hours, 60 s ramps, 5-minute
+    /// plateau.
+    pub fn flash_crowd() -> Self {
+        WorkloadKind::FlashCrowd {
+            spike_mult: 5.0,
+            period_hours: 2.0,
+            ramp_s: 60.0,
+            hold_s: 300.0,
+        }
+    }
+
+    /// Short display label (figure legends, CSV columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            WorkloadKind::Poisson => "poisson",
+            WorkloadKind::Diurnal { .. } => "diurnal",
+            WorkloadKind::PiecewiseLinear { .. } => "piecewise",
+            WorkloadKind::Mmpp { .. } => "mmpp",
+            WorkloadKind::FlashCrowd { .. } => "flash-crowd",
+            WorkloadKind::Replay { .. } => "replay",
+        }
+    }
+}
+
+impl Default for WorkloadKind {
+    /// The paper's evaluation workload.
+    fn default() -> Self {
+        WorkloadKind::Poisson
+    }
+}
+
+impl fmt::Display for WorkloadKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A [`WorkloadKind`] bound to a base rate: the object experiments hold.
+///
+/// Provides both faces of a workload — the *generator*
+/// ([`Workload::process_from`]) the simulator pulls arrivals from, and the
+/// *forecast* ([`Workload::forecast`], [`Workload::rate_at`],
+/// [`Workload::windowed_mean`]) schedulers plan against. Both are views of
+/// the same normalized description, so a scheduler that trusts the forecast
+/// is judged against traffic actually drawn from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    kind: WorkloadKind,
+    base_rps: f64,
+    /// The normalized generation engine, derived once from `kind` +
+    /// `base_rps` at construction. Forecast queries and per-window process
+    /// builds reuse it instead of re-normalizing — rescaling a replay
+    /// trace clones its whole timestamp vector, which must not happen per
+    /// query.
+    engine: Engine,
+}
+
+/// Precomputed normalized form of a workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Engine {
+    /// Deterministic intensity curve (Poisson, diurnal, piecewise, flash
+    /// crowd), already scaled so its long-run mean is the base rate.
+    Curve(RateCurve),
+    /// MMPP state rates, already normalized to the base rate.
+    Mmpp {
+        calm_rps: f64,
+        burst_rps: f64,
+        mean_calm_s: f64,
+        mean_burst_s: f64,
+    },
+    /// Replay trace, already rescaled to the base rate and shared so
+    /// per-window processes don't clone the timestamps.
+    Replay {
+        trace: Arc<ArrivalTrace>,
+        looping: bool,
+    },
+}
+
+impl Workload {
+    /// Binds `kind` to a base (long-run mean) rate.
+    ///
+    /// # Panics
+    /// Panics unless `base_rps` is finite and strictly positive, or if the
+    /// kind's parameters are structurally invalid.
+    pub fn new(kind: WorkloadKind, base_rps: f64) -> Self {
+        assert!(
+            base_rps.is_finite() && base_rps > 0.0,
+            "non-positive workload base rate"
+        );
+        let engine = match &kind {
+            WorkloadKind::Poisson => Engine::Curve(RateCurve::Constant(base_rps)),
+            WorkloadKind::Diurnal {
+                amplitude_frac,
+                period_hours,
+                phase_hours,
+            } => {
+                assert!(
+                    (0.0..=1.0).contains(amplitude_frac),
+                    "diurnal amplitude_frac outside [0, 1] breaks base-rate normalization"
+                );
+                assert!(*period_hours > 0.0, "non-positive diurnal period");
+                assert!(phase_hours.is_finite(), "non-finite diurnal phase");
+                Engine::Curve(RateCurve::Sinusoid {
+                    mean_rps: base_rps,
+                    amplitude_rps: base_rps * amplitude_frac,
+                    period_s: period_hours * 3600.0,
+                    phase_s: phase_hours * 3600.0,
+                })
+            }
+            WorkloadKind::PiecewiseLinear { points } => {
+                let shape = RateCurve::PiecewiseLinear {
+                    points: points.iter().map(|&(h, r)| (h * 3600.0, r)).collect(),
+                };
+                shape.validate();
+                let mean = shape.long_run_mean();
+                assert!(mean > 0.0, "piecewise-linear shape has zero mean");
+                Engine::Curve(shape.scaled(base_rps / mean))
+            }
+            WorkloadKind::FlashCrowd {
+                spike_mult,
+                period_hours,
+                ramp_s,
+                hold_s,
+            } => {
+                let shape = RateCurve::FlashCrowd {
+                    base_rps: 1.0,
+                    spike_mult: *spike_mult,
+                    period_s: period_hours * 3600.0,
+                    ramp_s: *ramp_s,
+                    hold_s: *hold_s,
+                };
+                shape.validate();
+                let mean = shape.long_run_mean();
+                Engine::Curve(shape.scaled(base_rps / mean))
+            }
+            WorkloadKind::Mmpp {
+                burst_mult,
+                mean_burst_s,
+                mean_calm_s,
+            } => {
+                assert!(*burst_mult >= 1.0, "MMPP burst_mult below 1");
+                assert!(
+                    *mean_burst_s > 0.0 && *mean_calm_s > 0.0,
+                    "non-positive MMPP sojourn mean"
+                );
+                let d = mean_burst_s / (mean_burst_s + mean_calm_s);
+                let calm = base_rps / (1.0 + d * (burst_mult - 1.0));
+                Engine::Mmpp {
+                    calm_rps: calm,
+                    burst_rps: calm * burst_mult,
+                    mean_calm_s: *mean_calm_s,
+                    mean_burst_s: *mean_burst_s,
+                }
+            }
+            WorkloadKind::Replay { trace, looping } => Engine::Replay {
+                trace: Arc::new(trace.rescaled_to(base_rps)),
+                looping: *looping,
+            },
+        };
+        if let Engine::Curve(curve) = &engine {
+            curve.validate();
+        }
+        Workload {
+            kind,
+            base_rps,
+            engine,
+        }
+    }
+
+    /// The paper's default: homogeneous Poisson at `rate_rps`.
+    pub fn poisson(rate_rps: f64) -> Self {
+        Workload::new(WorkloadKind::Poisson, rate_rps)
+    }
+
+    /// The scenario description.
+    pub fn kind(&self) -> &WorkloadKind {
+        &self.kind
+    }
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        self.kind.label()
+    }
+
+    /// The base (long-run mean) rate, req/s.
+    pub fn mean_rate(&self) -> f64 {
+        self.base_rps
+    }
+
+    /// Expected instantaneous rate at global time `t`, req/s (stationary
+    /// mean for MMPP, empirical windowed rate for replay).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match &self.engine {
+            Engine::Mmpp { .. } => self.base_rps,
+            Engine::Replay { trace, looping } => trace.empirical_rate_at(t.as_secs(), *looping),
+            Engine::Curve(curve) => curve.rate_at(t.as_secs()),
+        }
+    }
+
+    /// [`Workload::rate_at`] floored to a small fraction of the base rate:
+    /// the rate downstream *planning* consumers (M/M/c estimates, candidate
+    /// measurement windows) should use, since a forecast of exactly zero
+    /// traffic (a trace that ran dry, a diurnal trough at full amplitude)
+    /// would make those queries ill-defined.
+    pub fn planning_rate_at(&self, t: SimTime) -> f64 {
+        self.rate_at(t).max(self.base_rps * 1e-3)
+    }
+
+    /// Expected mean rate over the window `[from, from + span]`, req/s.
+    pub fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64 {
+        assert!(!span.is_zero(), "empty forecast window");
+        let (a, b) = (from.as_secs(), (from + span).as_secs());
+        match &self.engine {
+            Engine::Mmpp { .. } => self.base_rps,
+            Engine::Replay { trace, looping } => count_in(trace, a, b, *looping) / (b - a),
+            Engine::Curve(curve) => curve.mean_over(a, b),
+        }
+    }
+
+    /// The largest expected rate the workload can demand, req/s (capacity
+    /// planning headroom).
+    pub fn max_rate(&self) -> f64 {
+        match &self.engine {
+            // Peak demand is the burst-state rate.
+            Engine::Mmpp { burst_rps, .. } => *burst_rps,
+            Engine::Replay { .. } => self.base_rps, // unknowable a priori
+            Engine::Curve(curve) => curve.max_rate(),
+        }
+    }
+
+    /// The demand-forecast view handed to schedulers.
+    pub fn forecast(&self) -> DemandForecast<'_> {
+        DemandForecast { workload: self }
+    }
+
+    /// Builds the arrival process for a measurement window whose local zero
+    /// sits at `origin` on the global clock.
+    ///
+    /// Processes are freshly created per window; all their randomness comes
+    /// from the RNG the simulator passes at sampling time, so a window is
+    /// reproducible from `(workload, origin, rng seed)` alone.
+    pub fn process_from(&self, origin: SimTime) -> Box<dyn ArrivalProcess> {
+        match &self.engine {
+            Engine::Curve(RateCurve::Constant(rate)) => Box::new(PoissonProcess::new(*rate)),
+            Engine::Curve(curve) => Box::new(NhppProcess::new(curve.clone(), origin)),
+            Engine::Mmpp {
+                calm_rps,
+                burst_rps,
+                mean_calm_s,
+                mean_burst_s,
+            } => Box::new(MmppProcess::new(
+                *calm_rps,
+                *burst_rps,
+                *mean_calm_s,
+                *mean_burst_s,
+            )),
+            Engine::Replay { trace, looping } => {
+                Box::new(TraceReplayProcess::new(Arc::clone(trace), origin, *looping))
+            }
+        }
+    }
+}
+
+/// Read-only demand forecast: what a scheduler may know about future
+/// traffic. Wraps the workload's expected-rate queries without exposing the
+/// generator side.
+#[derive(Debug, Clone, Copy)]
+pub struct DemandForecast<'a> {
+    workload: &'a Workload,
+}
+
+impl DemandForecast<'_> {
+    /// Expected instantaneous rate at global time `t`, req/s.
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        self.workload.rate_at(t)
+    }
+
+    /// Expected mean rate over `[from, from + span]`, req/s.
+    pub fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64 {
+        self.workload.windowed_mean(from, span)
+    }
+
+    /// Long-run mean rate, req/s.
+    pub fn mean_rate(&self) -> f64 {
+        self.workload.mean_rate()
+    }
+
+    /// Largest expected demand, req/s.
+    pub fn max_rate(&self) -> f64 {
+        self.workload.max_rate()
+    }
+}
+
+/// Arrivals of the (possibly periodically extended) trace in `[a, b)`.
+fn count_in(trace: &ArrivalTrace, a: f64, b: f64, looping: bool) -> f64 {
+    let times = trace.times_s();
+    if looping {
+        let span = trace.span_s();
+        let laps = |x: f64| {
+            let k = (x / span).floor();
+            let off = x - k * span;
+            k * times.len() as f64 + times.partition_point(|&t| t < off) as f64
+        };
+        laps(b) - laps(a)
+    } else {
+        (times.partition_point(|&t| t < b) - times.partition_point(|&t| t < a)) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_simkit::SimRng;
+
+    fn synthetic_trace() -> ArrivalTrace {
+        // A bursty half, a quiet half.
+        let mut times: Vec<f64> = (0..180).map(|i| i as f64 * 0.5).collect();
+        times.extend((0..20).map(|i| 90.0 + i as f64 * 4.5));
+        ArrivalTrace::new(times, 180.0)
+    }
+
+    /// Every kind, with a trace for Replay.
+    fn all_kinds() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::Poisson,
+            WorkloadKind::diurnal(),
+            WorkloadKind::PiecewiseLinear {
+                points: vec![(0.0, 0.5), (24.0, 2.0), (48.0, 0.5)],
+            },
+            WorkloadKind::mmpp(),
+            WorkloadKind::flash_crowd(),
+            WorkloadKind::Replay {
+                trace: synthetic_trace(),
+                looping: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn normalization_makes_every_kind_hit_the_base_rate() {
+        for kind in all_kinds() {
+            let wl = Workload::new(kind, 120.0);
+            // The forecast view agrees with the declared mean.
+            assert!((wl.mean_rate() - 120.0).abs() < 1e-9);
+            // Long-window mean of the forecast ≈ base rate.
+            let mean = wl.windowed_mean(SimTime::ZERO, SimDuration::from_hours(48.0));
+            assert!(
+                (mean - 120.0).abs() / 120.0 < 0.02,
+                "{}: windowed mean {mean}",
+                wl.label()
+            );
+        }
+    }
+
+    #[test]
+    fn generated_arrivals_match_the_forecast() {
+        for kind in all_kinds() {
+            let wl = Workload::new(kind, 40.0);
+            // MMPP time-averages converge over many on/off cycles, so it
+            // needs a much longer measurement than the deterministic-rate
+            // kinds.
+            let horizon = match wl.kind() {
+                WorkloadKind::Mmpp { .. } => 86_400.0,
+                _ => 3600.0,
+            };
+            let mut p = wl.process_from(SimTime::ZERO);
+            let mut rng = SimRng::new(424_242);
+            let mut now = SimTime::ZERO;
+            let mut n = 0u64;
+            while let Some(t) = p.next_after(now, &mut rng) {
+                if t.as_secs() >= horizon {
+                    break;
+                }
+                n += 1;
+                now = t;
+            }
+            let measured = n as f64 / horizon;
+            let expected = wl.windowed_mean(SimTime::ZERO, SimDuration::from_secs(horizon));
+            assert!(
+                (measured - expected).abs() / expected < 0.06,
+                "{}: measured {measured} expected {expected}",
+                wl.label()
+            );
+        }
+    }
+
+    #[test]
+    fn diurnal_forecast_swings_around_base() {
+        let wl = Workload::new(WorkloadKind::diurnal(), 100.0);
+        let peak = wl.rate_at(SimTime::from_hours(6.0)); // sin peak at T/4
+        let trough = wl.rate_at(SimTime::from_hours(18.0));
+        assert!((peak - 160.0).abs() < 1e-6, "peak {peak}");
+        assert!((trough - 40.0).abs() < 1e-6, "trough {trough}");
+        assert!((wl.max_rate() - 160.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mmpp_peak_rate_is_burst_rate() {
+        let wl = Workload::new(WorkloadKind::mmpp(), 100.0);
+        // duty 0.2, mult 4 → calm 62.5, burst 250.
+        assert!((wl.max_rate() - 250.0).abs() < 1e-6, "{}", wl.max_rate());
+        assert!((wl.rate_at(SimTime::ZERO) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forecast_view_matches_workload() {
+        let wl = Workload::new(WorkloadKind::flash_crowd(), 80.0);
+        let f = wl.forecast();
+        let t = SimTime::from_hours(1.05); // inside the spike
+        assert_eq!(f.rate_at(t), wl.rate_at(t));
+        assert!(f.rate_at(t) > 80.0);
+        assert_eq!(f.mean_rate(), 80.0);
+        assert!(f.max_rate() > 300.0);
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(WorkloadKind::default(), WorkloadKind::Poisson);
+        assert_eq!(Workload::poisson(5.0).label(), "poisson");
+        assert_eq!(WorkloadKind::mmpp().label(), "mmpp");
+        assert_eq!(format!("{}", WorkloadKind::flash_crowd()), "flash-crowd");
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_base_rate_rejected() {
+        let _ = Workload::poisson(0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversized_diurnal_amplitude_rejected() {
+        // amplitude_frac > 1 clamps negative stretches to zero and silently
+        // raises the realized mean above the base rate.
+        let _ = Workload::new(
+            WorkloadKind::Diurnal {
+                amplitude_frac: 1.5,
+                period_hours: 24.0,
+                phase_hours: 0.0,
+            },
+            100.0,
+        );
+    }
+
+    #[test]
+    fn planning_rate_is_floored_above_zero() {
+        // A trace that runs dry forecasts zero demand past its end; the
+        // planning view must stay strictly positive for M/M/c estimates.
+        let wl = Workload::new(
+            WorkloadKind::Replay {
+                trace: ArrivalTrace::new(vec![1.0, 2.0], 10.0),
+                looping: false,
+            },
+            200.0,
+        );
+        let late = SimTime::from_hours(3.0);
+        assert_eq!(wl.rate_at(late), 0.0);
+        assert!(wl.planning_rate_at(late) > 0.0);
+        // For live demand the floor is invisible.
+        let poisson = Workload::poisson(150.0);
+        assert_eq!(poisson.planning_rate_at(late), 150.0);
+    }
+}

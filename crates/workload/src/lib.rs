@@ -1,0 +1,77 @@
+//! # clover-workload
+//!
+//! Traffic generation for the serving simulator: every way requests can
+//! arrive at the cluster, behind one deterministic interface.
+//!
+//! The paper evaluates Clover only under open-loop homogeneous Poisson
+//! arrivals (Sec. 5.1). Real inference fleets see much more: diurnal
+//! day/night cycles, bursty on/off traffic, flash crowds, and — most
+//! importantly for reproduction studies — replayed production traces. This
+//! crate owns all of that so the serving, scheduling, and (future)
+//! autoscaling layers can be exercised under any traffic scenario without
+//! knowing how it is generated.
+//!
+//! ## Architecture
+//!
+//! - [`ArrivalProcess`] — the point-process interface the simulator pulls
+//!   arrivals from: `next_after(now, rng)` returns the next arrival time.
+//!   Every implementation is deterministic given a
+//!   [`SimRng`](clover_simkit::SimRng) seed.
+//! - [`process`] — the implementations:
+//!   [`PoissonProcess`] (homogeneous, extracted from the serving
+//!   simulator's original hardcoded path), [`NhppProcess`] (non-homogeneous
+//!   Poisson via Lewis–Shedler thinning over a [`RateCurve`]),
+//!   [`MmppProcess`] (two-state Markov-modulated Poisson: calm/burst), and
+//!   [`TraceReplayProcess`] (deterministic replay of recorded arrival
+//!   timestamps, optionally looping).
+//! - [`rate`] — [`RateCurve`]: constant, diurnal sinusoid, piecewise-linear
+//!   control points, and flash-crowd (periodic trapezoid spike) shapes with
+//!   exact instantaneous lookup and numeric window means.
+//! - [`descriptor`] — [`WorkloadKind`] (the serializable scenario
+//!   parameterization that rides inside experiment configs) and
+//!   [`Workload`] (a kind bound to a base rate), plus the
+//!   [`DemandForecast`] view — `rate_at(t)` and windowed means — that
+//!   schedulers query to plan capacity.
+//! - [`trace_io`] — [`ArrivalTrace`]: recorded arrival timestamps with
+//!   rate rescaling and CSV round-tripping (same I/O idiom as
+//!   `clover_carbon`'s trace CSV).
+//!
+//! ## Conventions
+//!
+//! All synthetic kinds are **normalized to a base rate**: the long-run mean
+//! arrival rate of every process equals the `base_rps` the [`Workload`] was
+//! built with, so experiments stay comparable across scenarios — the same
+//! total demand, shaped differently. Trace replays are rescaled to the base
+//! rate the same way.
+//!
+//! Processes are created per measurement window via
+//! [`Workload::process_from`], with the window's origin on the global
+//! simulation clock; rate curves and trace replays are therefore sampled in
+//! global time while the serving simulator keeps its window-local clock.
+//!
+//! ```
+//! use clover_workload::{Workload, WorkloadKind};
+//! use clover_simkit::{SimRng, SimTime};
+//!
+//! let wl = Workload::new(WorkloadKind::diurnal(), 100.0);
+//! // Forecast view: expected demand 6 simulated hours in.
+//! let expected = wl.forecast().rate_at(SimTime::from_hours(6.0));
+//! assert!(expected > 0.0);
+//! // Generator view: deterministic arrivals for a window starting at 6 h.
+//! let mut rng = SimRng::new(7);
+//! let mut process = wl.process_from(SimTime::from_hours(6.0));
+//! let first = process.next_after(SimTime::ZERO, &mut rng).unwrap();
+//! assert!(first.as_secs() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod descriptor;
+pub mod process;
+pub mod rate;
+pub mod trace_io;
+
+pub use descriptor::{DemandForecast, Workload, WorkloadKind};
+pub use process::{ArrivalProcess, MmppProcess, NhppProcess, PoissonProcess, TraceReplayProcess};
+pub use rate::RateCurve;
+pub use trace_io::{ArrivalTrace, TraceParseError};

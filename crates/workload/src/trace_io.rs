@@ -1,0 +1,278 @@
+//! Recorded arrival traces and their CSV round-tripping.
+//!
+//! An [`ArrivalTrace`] is a sorted list of request arrival timestamps over
+//! a known span — what a production front-end's access log reduces to. The
+//! CSV format mirrors the style of `clover_carbon`'s trace I/O: a comment
+//! line carrying the trace metadata, a header naming the column, one value
+//! per line, written with Rust's shortest-round-trip float formatting so a
+//! write → read cycle reproduces the trace exactly.
+//!
+//! ```text
+//! # clover-workload arrival trace, span_s=300
+//! arrival_s
+//! 0.03517
+//! 0.8112
+//! ...
+//! ```
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::path::Path;
+
+/// A recorded sequence of arrival timestamps over `[0, span_s)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalTrace {
+    times_s: Vec<f64>,
+    span_s: f64,
+}
+
+/// Error parsing an arrival-trace CSV.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceParseError {
+    line: usize,
+    message: String,
+}
+
+impl fmt::Display for TraceParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "arrival-trace CSV line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TraceParseError {}
+
+impl TraceParseError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        TraceParseError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl ArrivalTrace {
+    /// Builds a trace from timestamps (sorted internally) over `[0, span_s)`.
+    ///
+    /// # Panics
+    /// Panics on an empty trace, a non-positive span, or timestamps outside
+    /// the span.
+    pub fn new(mut times_s: Vec<f64>, span_s: f64) -> Self {
+        assert!(!times_s.is_empty(), "empty arrival trace");
+        assert!(
+            span_s.is_finite() && span_s > 0.0,
+            "non-positive trace span"
+        );
+        times_s.sort_by(|a, b| a.partial_cmp(b).expect("finite timestamps"));
+        assert!(
+            times_s
+                .iter()
+                .all(|&t| t.is_finite() && (0.0..span_s).contains(&t)),
+            "arrival timestamps must lie in [0, span)"
+        );
+        ArrivalTrace { times_s, span_s }
+    }
+
+    /// The recorded timestamps, seconds, ascending.
+    pub fn times_s(&self) -> &[f64] {
+        &self.times_s
+    }
+
+    /// The recording span, seconds.
+    pub fn span_s(&self) -> f64 {
+        self.span_s
+    }
+
+    /// Number of recorded arrivals.
+    pub fn len(&self) -> usize {
+        self.times_s.len()
+    }
+
+    /// True when the trace holds no arrivals (construction forbids this).
+    pub fn is_empty(&self) -> bool {
+        self.times_s.is_empty()
+    }
+
+    /// Empirical mean arrival rate, req/s.
+    pub fn mean_rps(&self) -> f64 {
+        self.times_s.len() as f64 / self.span_s
+    }
+
+    /// Returns the trace rescaled in time so its mean rate becomes
+    /// `target_rps` — the recorded burst *structure* is preserved, only the
+    /// clock is compressed or dilated.
+    ///
+    /// # Panics
+    /// Panics unless `target_rps` is finite and positive.
+    pub fn rescaled_to(&self, target_rps: f64) -> ArrivalTrace {
+        assert!(
+            target_rps.is_finite() && target_rps > 0.0,
+            "non-positive target rate"
+        );
+        let scale = self.mean_rps() / target_rps;
+        ArrivalTrace {
+            times_s: self.times_s.iter().map(|t| t * scale).collect(),
+            span_s: self.span_s * scale,
+        }
+    }
+
+    /// Empirical rate around global time `t_s`, req/s: arrivals within a
+    /// centered window (1% of the span, at least one mean inter-arrival
+    /// time) divided by the window. With `looping`, the trace extends
+    /// periodically; otherwise times outside the recording count as silent.
+    pub fn empirical_rate_at(&self, t_s: f64, looping: bool) -> f64 {
+        let w = (self.span_s * 0.01)
+            .max(2.0 / self.mean_rps())
+            .min(self.span_s);
+        let (lo, hi) = (t_s - w / 2.0, t_s + w / 2.0);
+        let count = if looping {
+            // Count arrivals in [lo, hi) of the periodic extension.
+            let laps = |x: f64| {
+                let k = (x / self.span_s).floor();
+                let off = x - k * self.span_s;
+                k * self.times_s.len() as f64 + self.times_s.partition_point(|&t| t < off) as f64
+            };
+            laps(hi) - laps(lo)
+        } else {
+            let a = self.times_s.partition_point(|&t| t < lo);
+            let b = self.times_s.partition_point(|&t| t < hi);
+            (b - a) as f64
+        };
+        count / w
+    }
+
+    /// Serializes the trace to the CSV format in the module docs. Floats
+    /// use Rust's shortest round-trip formatting, so
+    /// [`ArrivalTrace::from_csv`] reproduces the trace exactly.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(16 * self.times_s.len() + 64);
+        out.push_str(&format!(
+            "# clover-workload arrival trace, span_s={}\n",
+            self.span_s
+        ));
+        out.push_str("arrival_s\n");
+        for t in &self.times_s {
+            out.push_str(&format!("{t}\n"));
+        }
+        out
+    }
+
+    /// Parses a trace from the CSV format in the module docs. A missing
+    /// span comment falls back to the last timestamp (rounded up to keep
+    /// every arrival inside the span).
+    pub fn from_csv(csv: &str) -> Result<ArrivalTrace, TraceParseError> {
+        let mut span: Option<f64> = None;
+        let mut times = Vec::new();
+        for (i, raw) in csv.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line == "arrival_s" {
+                continue;
+            }
+            if let Some(comment) = line.strip_prefix('#') {
+                if let Some(v) = comment.split("span_s=").nth(1) {
+                    span = Some(
+                        v.trim()
+                            .parse()
+                            .map_err(|e| TraceParseError::new(i + 1, format!("bad span: {e}")))?,
+                    );
+                }
+                continue;
+            }
+            let t: f64 = line
+                .parse()
+                .map_err(|e| TraceParseError::new(i + 1, format!("bad timestamp: {e}")))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(TraceParseError::new(
+                    i + 1,
+                    "negative or non-finite timestamp",
+                ));
+            }
+            times.push(t);
+        }
+        if times.is_empty() {
+            return Err(TraceParseError::new(0, "trace holds no arrivals"));
+        }
+        let max = times.iter().fold(0.0f64, |a, &b| a.max(b));
+        let span = span.unwrap_or_else(|| (max + 1e-9).max(1e-9) * (1.0 + 1e-12));
+        if span <= max {
+            return Err(TraceParseError::new(
+                0,
+                format!("span {span} does not cover the last arrival {max}"),
+            ));
+        }
+        Ok(ArrivalTrace::new(times, span))
+    }
+
+    /// Writes the CSV to `path`.
+    pub fn write_csv(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
+    /// Reads a CSV trace from `path`.
+    pub fn read_csv(path: impl AsRef<Path>) -> std::io::Result<ArrivalTrace> {
+        let text = std::fs::read_to_string(path)?;
+        ArrivalTrace::from_csv(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_validates() {
+        let t = ArrivalTrace::new(vec![2.0, 1.0, 1.5], 10.0);
+        assert_eq!(t.times_s(), &[1.0, 1.5, 2.0]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.mean_rps() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_span_timestamp_rejected() {
+        let _ = ArrivalTrace::new(vec![1.0, 10.0], 10.0);
+    }
+
+    #[test]
+    fn rescaling_hits_target_rate_and_keeps_structure() {
+        let t = ArrivalTrace::new(vec![0.0, 1.0, 2.0, 7.0], 10.0);
+        let r = t.rescaled_to(2.0);
+        assert!((r.mean_rps() - 2.0).abs() < 1e-12);
+        // Relative structure preserved: ratios of gaps unchanged.
+        assert!((r.times_s()[3] / r.times_s()[1] - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn csv_round_trip_is_exact() {
+        let t = ArrivalTrace::new(vec![0.035_171_234_567, 0.812, 3.5, 299.999_999_9], 300.0);
+        let back = ArrivalTrace::from_csv(&t.to_csv()).expect("parses");
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn csv_without_span_infers_one() {
+        let parsed = ArrivalTrace::from_csv("arrival_s\n1.0\n2.5\n").expect("parses");
+        assert_eq!(parsed.len(), 2);
+        assert!(parsed.span_s() > 2.5);
+    }
+
+    #[test]
+    fn csv_errors_carry_line_numbers() {
+        let err = ArrivalTrace::from_csv("arrival_s\n1.0\nnot-a-number\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+        assert!(ArrivalTrace::from_csv("arrival_s\n").is_err());
+    }
+
+    #[test]
+    fn empirical_rate_sees_bursts() {
+        // 50 arrivals packed into [0, 5), then silence until 100.
+        let times: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let t = ArrivalTrace::new(times, 100.0);
+        assert!(t.empirical_rate_at(2.5, false) > 5.0);
+        assert_eq!(t.empirical_rate_at(60.0, false), 0.0);
+        // Looping extension sees the burst again one span later.
+        assert!(t.empirical_rate_at(102.5, true) > 5.0);
+    }
+}

@@ -19,6 +19,7 @@ use clover::models::zoo::Application;
 use clover::models::PerfModel;
 use clover::serving::{analytic, Deployment};
 use clover::simkit::{SimRng, SimTime};
+use clover::workload::Workload;
 
 fn main() {
     let app = Application::LanguageModeling;
@@ -42,8 +43,13 @@ fn main() {
     let mut scheduler = make_scheduler(SchemeKind::Clover, &family, n_gpus, SaParams::default());
     let mut evaluator = DesEvaluator::new(family.clone(), perf, rate, base, 99);
     let mut rng = SimRng::new(5);
+    let workload = Workload::poisson(rate);
 
-    println!("serving {} at {rate:.0} req/s on {n_gpus} GPUs, SLA p95 <= {:.0} ms", app, sla * 1e3);
+    println!(
+        "serving {} at {rate:.0} req/s on {n_gpus} GPUs, SLA p95 <= {:.0} ms",
+        app,
+        sla * 1e3
+    );
     println!();
     for hour in 0..24 {
         let t = SimTime::from_hours(hour as f64);
@@ -54,6 +60,8 @@ fn main() {
                 perf: &perf,
                 objective: &objective,
                 ci: event.current,
+                now: t,
+                workload: &workload,
                 evaluator: &mut evaluator,
                 rng: &mut rng,
             };

@@ -29,13 +29,26 @@ fn main() {
 
     let outcome = experiment.run();
     println!();
-    println!("after {:.0} simulated hours on the {} trace:", outcome.horizon_hours, outcome.trace);
-    println!("  carbon saved vs BASE:   {:6.1} %", outcome.carbon_saving_pct);
-    println!("  accuracy loss vs BASE:  {:6.2} %", outcome.accuracy_loss_pct);
+    println!(
+        "after {:.0} simulated hours on the {} trace:",
+        outcome.horizon_hours, outcome.trace
+    );
+    println!(
+        "  carbon saved vs BASE:   {:6.1} %",
+        outcome.carbon_saving_pct
+    );
+    println!(
+        "  accuracy loss vs BASE:  {:6.2} %",
+        outcome.accuracy_loss_pct
+    );
     println!(
         "  p95 latency:            {:6.1} ms ({}; {:.2}x BASE)",
         outcome.p95_s * 1e3,
-        if outcome.sla_met { "meets SLA" } else { "VIOLATES SLA" },
+        if outcome.sla_met {
+            "meets SLA"
+        } else {
+            "VIOLATES SLA"
+        },
         outcome.p95_norm_to_base
     );
     println!(

@@ -10,6 +10,8 @@
 //! - [`carbon`] — carbon-intensity traces, monitoring, and accounting
 //! - [`mig`] — Multi-Instance GPU substrate (slice types, 19 configs, power)
 //! - [`models`] — model-variant zoo with latency/energy/accuracy models
+//! - [`workload`] — traffic generation: arrival processes (Poisson, diurnal,
+//!   MMPP, flash-crowd, trace replay), workload descriptors, demand forecasts
 //! - [`serving`] — inference serving simulator (queue, dispatch, metrics)
 //! - [`core`] — the Clover optimizer, controller, and competing schemes
 //!
@@ -39,3 +41,4 @@ pub use clover_mig as mig;
 pub use clover_models as models;
 pub use clover_serving as serving;
 pub use clover_simkit as simkit;
+pub use clover_workload as workload;

@@ -114,7 +114,11 @@ fn reduced_provisioning_breaks_base_not_clover() {
         Experiment::new(cfg).run()
     };
     assert!(!base.sla_met, "BASE on 2 GPUs should blow the SLA");
-    assert!(base.p95_norm_to_base > 2.0, "norm {:.2}", base.p95_norm_to_base);
+    assert!(
+        base.p95_norm_to_base > 2.0,
+        "norm {:.2}",
+        base.p95_norm_to_base
+    );
     // Once Clover has reconfigured away from the cold-start overload, the
     // steady-state hours must meet the SLA (the run-level p95 still carries
     // the recovery transient at this short horizon).
@@ -128,13 +132,14 @@ fn reduced_provisioning_breaks_base_not_clover() {
 }
 
 #[test]
-fn outcomes_are_deterministic_and_serializable() {
+fn outcomes_are_deterministic() {
     let a = run(Application::ObjectDetection, SchemeKind::Clover, 2);
     let b = run(Application::ObjectDetection, SchemeKind::Clover, 2);
     assert_eq!(a.total_carbon_g, b.total_carbon_g);
     assert_eq!(a.p95_s, b.p95_s);
-    let json = serde_json::to_string(&a).expect("outcome serializes");
-    assert!(json.contains("carbon_saving_pct"));
+    // Outcomes carry their scenario labels for reporting.
+    assert_eq!(a.workload, "poisson");
+    assert_eq!(a.scheme, "CLOVER");
 }
 
 #[test]

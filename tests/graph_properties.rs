@@ -1,5 +1,9 @@
 //! Property-based tests of Clover's graph machinery, spanning
 //! `clover-core`, `clover-serving`, `clover-mig` and `clover-models`.
+//!
+//! Written as deterministic seed sweeps (the container has no registry
+//! access for a property-testing framework): each test drives the same
+//! invariant across a grid of applications, seeds, and cluster sizes.
 
 use clover::core::graph::ConfigGraph;
 use clover::core::neighbors::NeighborSampler;
@@ -7,67 +11,83 @@ use clover::core::schedulers::random_raw_deployment;
 use clover::mig::{Packer, Partitioning};
 use clover::models::zoo::Application;
 use clover::simkit::SimRng;
-use proptest::prelude::*;
 
-fn app_strategy() -> impl Strategy<Value = Application> {
-    prop_oneof![
-        Just(Application::ObjectDetection),
-        Just(Application::LanguageModeling),
-        Just(Application::ImageClassification),
-    ]
+const APPS: [Application; 3] = [
+    Application::ObjectDetection,
+    Application::LanguageModeling,
+    Application::ImageClassification,
+];
+
+/// The sweep grid: (app, seed, n_gpus) cases, deterministic.
+fn cases() -> impl Iterator<Item = (Application, u64, usize)> {
+    APPS.into_iter()
+        .flat_map(|app| (0u64..24).map(move |seed| (app, seed * 41 + 7, 1 + (seed as usize % 7))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// GED is a metric: identity, symmetry, triangle inequality.
-    #[test]
-    fn ged_is_a_metric(app in app_strategy(), seed in 0u64..1_000, n_gpus in 1usize..8) {
+/// GED is a metric: identity, symmetry, triangle inequality.
+#[test]
+fn ged_is_a_metric() {
+    for (app, seed, n_gpus) in cases() {
         let family = app.family();
         let mut rng = SimRng::new(seed);
-        let a = ConfigGraph::from_deployment(&family, &random_raw_deployment(&family, n_gpus, &mut rng));
-        let b = ConfigGraph::from_deployment(&family, &random_raw_deployment(&family, n_gpus, &mut rng));
-        let c = ConfigGraph::from_deployment(&family, &random_raw_deployment(&family, n_gpus, &mut rng));
-        prop_assert_eq!(a.ged(&a), 0);
-        prop_assert_eq!(a.ged(&b), b.ged(&a));
-        prop_assert!(a.ged(&c) <= a.ged(&b) + b.ged(&c));
+        let a = ConfigGraph::from_deployment(
+            &family,
+            &random_raw_deployment(&family, n_gpus, &mut rng),
+        );
+        let b = ConfigGraph::from_deployment(
+            &family,
+            &random_raw_deployment(&family, n_gpus, &mut rng),
+        );
+        let c = ConfigGraph::from_deployment(
+            &family,
+            &random_raw_deployment(&family, n_gpus, &mut rng),
+        );
+        assert_eq!(a.ged(&a), 0);
+        assert_eq!(a.ged(&b), b.ged(&a));
+        assert!(a.ged(&c) <= a.ged(&b) + b.ged(&c));
     }
+}
 
-    /// The graph's total weight equals the instance count, and its census
-    /// equals the deployment's partitioning census.
-    #[test]
-    fn graph_is_consistent_with_deployment(app in app_strategy(), seed in 0u64..1_000, n_gpus in 1usize..8) {
+/// The graph's total weight equals the instance count, and its census
+/// equals the deployment's partitioning census.
+#[test]
+fn graph_is_consistent_with_deployment() {
+    for (app, seed, n_gpus) in cases() {
         let family = app.family();
         let mut rng = SimRng::new(seed);
         let d = random_raw_deployment(&family, n_gpus, &mut rng);
         let g = ConfigGraph::from_deployment(&family, &d);
-        prop_assert_eq!(g.total_weight() as usize, d.n_instances());
-        prop_assert_eq!(g.census(), d.census());
+        assert_eq!(g.total_weight() as usize, d.n_instances());
+        assert_eq!(g.census(), d.census());
     }
+}
 
-    /// Graph additivity: the graph of two clusters equals the sum of their
-    /// graphs (paper Sec. 4.2's scaling argument).
-    #[test]
-    fn graph_additivity(app in app_strategy(), seed in 0u64..1_000) {
+/// Graph additivity: the graph of two clusters equals the sum of their
+/// graphs (paper Sec. 4.2's scaling argument).
+#[test]
+fn graph_additivity() {
+    for (app, seed, _) in cases() {
         let family = app.family();
         let mut rng = SimRng::new(seed);
         let a = random_raw_deployment(&family, 3, &mut rng);
         let b = random_raw_deployment(&family, 2, &mut rng);
         let mut sum = ConfigGraph::from_deployment(&family, &a);
         sum.add(&ConfigGraph::from_deployment(&family, &b));
-        prop_assert_eq!(
+        assert_eq!(
             sum.total_weight() as usize,
             a.n_instances() + b.n_instances()
         );
         let mut back = sum.clone();
         back.subtract(&ConfigGraph::from_deployment(&family, &b));
-        prop_assert_eq!(back, ConfigGraph::from_deployment(&family, &a));
+        assert_eq!(back, ConfigGraph::from_deployment(&family, &a));
     }
+}
 
-    /// Every sampled neighbor stays within the paper's GED threshold of 4,
-    /// is OOM-valid, and preserves the GPU count.
-    #[test]
-    fn neighbors_bounded_and_valid(app in app_strategy(), seed in 0u64..1_000, n_gpus in 1usize..8) {
+/// Every sampled neighbor stays within the paper's GED threshold of 4,
+/// is OOM-valid, and preserves the GPU count.
+#[test]
+fn neighbors_bounded_and_valid() {
+    for (app, seed, n_gpus) in cases() {
         let family = app.family();
         let mut rng = SimRng::new(seed);
         let center = random_raw_deployment(&family, n_gpus, &mut rng);
@@ -76,18 +96,20 @@ proptest! {
         if let Some(neighbor) = sampler.sample(&family, &center, &mut rng) {
             let g = ConfigGraph::from_deployment(&family, &neighbor);
             let d = center_graph.ged(&g);
-            prop_assert!((1..=4).contains(&d), "GED {} out of bounds", d);
-            prop_assert_eq!(neighbor.n_gpus(), n_gpus);
+            assert!((1..=4).contains(&d), "GED {d} out of bounds");
+            assert_eq!(neighbor.n_gpus(), n_gpus);
             for (v, s) in neighbor.instances() {
-                prop_assert!(family.variant(v).fits(s));
+                assert!(family.variant(v).fits(s));
             }
         }
     }
+}
 
-    /// Any census that comes from a real partitioning decomposes back into
-    /// valid per-GPU configurations with the same census.
-    #[test]
-    fn census_round_trips_through_packer(app in app_strategy(), seed in 0u64..1_000, n_gpus in 1usize..8) {
+/// Any census that comes from a real partitioning decomposes back into
+/// valid per-GPU configurations with the same census.
+#[test]
+fn census_round_trips_through_packer() {
+    for (app, seed, n_gpus) in cases() {
         let family = app.family();
         let mut rng = SimRng::new(seed);
         let d = random_raw_deployment(&family, n_gpus, &mut rng);
@@ -95,6 +117,6 @@ proptest! {
         let configs = Packer::new()
             .decompose(&census, n_gpus)
             .expect("census of a real partitioning must decompose");
-        prop_assert_eq!(Partitioning::new(configs).census(), census);
+        assert_eq!(Partitioning::new(configs).census(), census);
     }
 }

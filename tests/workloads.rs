@@ -1,0 +1,189 @@
+//! End-to-end tests of the workload subsystem: every scheduling scheme runs
+//! to completion under every traffic scenario, runs are deterministic given
+//! a seed, and the default Poisson path is unchanged by the refactor.
+
+use clover::core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover::core::schedulers::SchemeKind;
+use clover::models::zoo::Application;
+use clover::models::PerfModel;
+use clover::serving::{Deployment, ServingSim};
+use clover::simkit::SimDuration;
+use clover::workload::{ArrivalTrace, PoissonProcess, WorkloadKind};
+
+/// A replayable trace long enough to cover the test horizon when looping:
+/// one bursty minute, one quiet minute, ~0.9 relative rate.
+fn test_trace() -> ArrivalTrace {
+    let mut times: Vec<f64> = (0..80).map(|i| i as f64 * 0.75).collect();
+    times.extend((0..28).map(|i| 60.0 + i as f64 * 2.1));
+    ArrivalTrace::new(times, 120.0)
+}
+
+/// The five scenario kinds of the acceptance matrix.
+fn all_kinds() -> Vec<WorkloadKind> {
+    vec![
+        WorkloadKind::Poisson,
+        WorkloadKind::diurnal(),
+        WorkloadKind::mmpp(),
+        WorkloadKind::flash_crowd(),
+        WorkloadKind::Replay {
+            trace: test_trace(),
+            looping: true,
+        },
+    ]
+}
+
+fn run(scheme: SchemeKind, kind: WorkloadKind, seed: u64) -> ExperimentOutcome {
+    let cfg = ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(scheme)
+        .workload(kind)
+        .n_gpus(2)
+        .horizon_hours(3.0)
+        .sim_window_s(15.0)
+        .seed(seed)
+        .build();
+    Experiment::new(cfg).run()
+}
+
+/// The full acceptance matrix: 5 schemes × 5 workload kinds all complete
+/// with sane outcomes.
+#[test]
+fn all_schemes_complete_under_all_workloads() {
+    for kind in all_kinds() {
+        for scheme in SchemeKind::ALL {
+            let out = run(scheme, kind.clone(), 21);
+            assert!(
+                out.served_scaled > 0.0,
+                "{scheme} under {}: nothing served",
+                kind.label()
+            );
+            assert!(out.total_carbon_g > 0.0, "{scheme} under {}", kind.label());
+            assert!(out.base_carbon_g > 0.0, "{scheme} under {}", kind.label());
+            assert_eq!(out.timeline.len(), 3);
+            assert_eq!(out.workload, kind.label());
+            assert!(
+                out.p95_s.is_finite() && out.p95_s > 0.0,
+                "{scheme} under {}: p95 {}",
+                kind.label(),
+                out.p95_s
+            );
+        }
+    }
+}
+
+/// Identical seeds reproduce identical outcomes for every workload kind
+/// (the carbon-aware search included).
+#[test]
+fn workload_experiments_are_deterministic() {
+    for kind in all_kinds() {
+        let a = run(SchemeKind::Clover, kind.clone(), 33);
+        let b = run(SchemeKind::Clover, kind.clone(), 33);
+        assert_eq!(a.total_carbon_g, b.total_carbon_g, "{}", kind.label());
+        assert_eq!(a.p95_s, b.p95_s, "{}", kind.label());
+        assert_eq!(a.evals_total(), b.evals_total(), "{}", kind.label());
+        assert_eq!(a.served_scaled, b.served_scaled, "{}", kind.label());
+    }
+}
+
+/// The default config (no workload set) and an explicit Poisson workload
+/// are the same experiment, bit for bit.
+#[test]
+fn default_config_is_poisson_and_unchanged() {
+    let default_cfg = ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::Clover)
+        .n_gpus(2)
+        .horizon_hours(3.0)
+        .sim_window_s(15.0)
+        .seed(5)
+        .build();
+    assert_eq!(default_cfg.workload, WorkloadKind::Poisson);
+    let explicit = run(SchemeKind::Clover, WorkloadKind::Poisson, 5);
+    let default_out = Experiment::new(default_cfg).run();
+    assert_eq!(default_out.total_carbon_g, explicit.total_carbon_g);
+    assert_eq!(default_out.p95_s, explicit.p95_s);
+    assert_eq!(default_out.evals_total(), explicit.evals_total());
+}
+
+/// The legacy rate-based serving API and the arrival-process API produce
+/// identical windows for Poisson traffic: they are one code path, so the
+/// default scenario cannot drift from the generic one. (This pins API
+/// equivalence, not cross-version seed stability — splitting arrival and
+/// service randomness onto sub-streams re-dealt seeded draws once at the
+/// refactor itself.)
+#[test]
+fn poisson_rate_api_and_process_api_are_one_path() {
+    let family = Application::ImageClassification.family();
+    let d = Deployment::base(&family, 2);
+    let mut legacy = ServingSim::new(family.clone(), PerfModel::a100(), d.clone(), 2024);
+    let mut generic = ServingSim::new(family.clone(), PerfModel::a100(), d, 2024);
+    let window = SimDuration::from_secs(30.0);
+    let warmup = SimDuration::from_secs(3.0);
+    let wa = legacy.run_window(150.0, window, warmup);
+    let mut p = PoissonProcess::new(150.0);
+    let wb = generic.run_window_with(&mut p, window, warmup);
+    assert_eq!(wa.arrived, wb.arrived);
+    assert_eq!(wa.served, wb.served);
+    assert_eq!(wa.dropped, wb.dropped);
+    assert_eq!(wa.mean_latency_s, wb.mean_latency_s);
+    assert_eq!(wa.p95_latency_s, wb.p95_latency_s);
+    assert_eq!(wa.dynamic_energy_j, wb.dynamic_energy_j);
+    assert_eq!(wa.idle_energy_j, wb.idle_energy_j);
+}
+
+/// A non-looping trace that runs dry mid-horizon leaves later hours with
+/// zero traffic; the experiment completes with NaN hour metrics instead of
+/// panicking (regression: the objective used to be fed NaN energy).
+#[test]
+fn non_looping_trace_running_dry_is_survivable() {
+    let short = ArrivalTrace::new(vec![1.0, 2.0, 3.0], 10.0);
+    let out = run(
+        SchemeKind::Base,
+        WorkloadKind::Replay {
+            trace: short,
+            looping: false,
+        },
+        4,
+    );
+    assert_eq!(out.timeline.len(), 3);
+    // Rescaling compresses the toy trace into the first fraction of a
+    // second, so every measured hour is silent: per-request metrics are
+    // NaN, and the run still completes with coherent bookkeeping.
+    assert!(out.timeline.iter().all(|h| h.energy_per_request_j.is_nan()));
+    assert!(out.timeline[2].objective_f.is_nan());
+    assert_eq!(out.served_scaled, 0.0);
+    assert!(out.total_carbon_g > 0.0, "idle+static power still burns");
+}
+
+/// Same dry-trace scenario under a scheme that actually searches: the
+/// scheduler's planning rate is floored above zero, so candidate
+/// evaluation windows stay well-defined after the trace runs out.
+#[test]
+fn searching_scheme_survives_a_dry_trace() {
+    let short = ArrivalTrace::new(vec![1.0, 2.0, 3.0], 10.0);
+    let cfg = ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::Clover)
+        .workload(WorkloadKind::Replay {
+            trace: short,
+            looping: false,
+        })
+        .n_gpus(2)
+        .horizon_hours(6.0)
+        .sim_window_s(15.0)
+        .seed(4)
+        .build();
+    let out = Experiment::new(cfg).run();
+    assert_eq!(out.timeline.len(), 6);
+}
+
+/// Bursty traffic stresses the tail: under the same mean load, MMPP's p95
+/// on a BASE deployment is no better than Poisson's.
+#[test]
+fn bursty_traffic_has_heavier_tails_than_poisson() {
+    let poisson = run(SchemeKind::Base, WorkloadKind::Poisson, 77);
+    let mmpp = run(SchemeKind::Base, WorkloadKind::mmpp(), 77);
+    assert!(
+        mmpp.p95_s >= poisson.p95_s,
+        "mmpp p95 {} < poisson p95 {}",
+        mmpp.p95_s,
+        poisson.p95_s
+    );
+}
