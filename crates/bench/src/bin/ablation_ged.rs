@@ -22,7 +22,8 @@ fn main() {
         "Ablation",
         "GED neighborhood threshold (paper fixes it at 4)",
     );
-    let fam = Application::ImageClassification.family();
+    // Shared by every parallel trial: refcount bumps, not deep clones.
+    let fam = std::sync::Arc::new(Application::ImageClassification.family());
     let perf = PerfModel::a100();
     let base = Deployment::base(&fam, 10);
     let cap = analytic::estimate(&fam, &perf, &base, 1.0).capacity_rps;
@@ -36,43 +37,50 @@ fn main() {
         "{:>10} {:>12} {:>12} {:>12}",
         "threshold", "mean best f", "mean evals", "sla-ok best"
     );
-    for threshold in [2u32, 4, 8, 16, 32] {
+    let trials: u64 = 20;
+    // Every (threshold, seed) trial is an independent, self-seeded
+    // annealing run: fan the whole sweep out in one parallel grid.
+    let thresholds = [2u32, 4, 8, 16, 32];
+    let cells: Vec<(u32, u64)> = thresholds
+        .into_iter()
+        .flat_map(|t| (0..trials).map(move |seed| (t, seed)))
+        .collect();
+    let results = clover_simkit::par_map(cells, clover_bench::bench_threads(), |(t, seed)| {
         let sampler = NeighborSampler {
-            ged_threshold: threshold,
+            ged_threshold: t,
             ..NeighborSampler::default()
         };
-        let trials = 20;
-        let mut f_sum = 0.0;
-        let mut evals_sum = 0usize;
-        let mut sla_ok = 0usize;
-        for seed in 0..trials {
-            let fam2 = fam.clone();
-            let mut rng = SimRng::new(seed);
-            let run = anneal(
-                base.clone(),
-                &objective,
-                ci,
-                &SaParams::default(),
-                &mut rng,
-                move |center, rng| sampler.sample(&fam2, center, rng),
-                |d: &Deployment| {
-                    let e = analytic::estimate(&fam, &perf, d, rate);
-                    EvalOutcome {
-                        point: MeasuredPoint {
-                            accuracy_pct: e.accuracy_pct,
-                            energy_per_request_j: e.energy_per_request_j,
-                            p95_latency_s: if e.stable { e.p95_latency_s } else { 1e6 },
-                        },
-                        cost_s: 10.0,
-                    }
-                },
-            );
-            f_sum += run.best_f;
-            evals_sum += run.evals.len();
-            if objective.sla_ok(&run.best_point) {
-                sla_ok += 1;
-            }
-        }
+        let fam2 = fam.clone();
+        let mut rng = SimRng::new(seed);
+        let run = anneal(
+            base.clone(),
+            &objective,
+            ci,
+            &SaParams::default(),
+            &mut rng,
+            move |center, rng| sampler.sample(&fam2, center, rng),
+            |d: &Deployment| {
+                let e = analytic::estimate(&fam, &perf, d, rate);
+                EvalOutcome {
+                    point: MeasuredPoint {
+                        accuracy_pct: e.accuracy_pct,
+                        energy_per_request_j: e.energy_per_request_j,
+                        p95_latency_s: if e.stable { e.p95_latency_s } else { 1e6 },
+                    },
+                    cost_s: 10.0,
+                }
+            },
+        );
+        (
+            run.best_f,
+            run.evals.len(),
+            objective.sla_ok(&run.best_point),
+        )
+    });
+    for (threshold, trial_rows) in thresholds.into_iter().zip(results.chunks(trials as usize)) {
+        let f_sum: f64 = trial_rows.iter().map(|r| r.0).sum();
+        let evals_sum: usize = trial_rows.iter().map(|r| r.1).sum();
+        let sla_ok = trial_rows.iter().filter(|r| r.2).count();
         println!(
             "{:>10} {:>12.2} {:>12.1} {:>9}/{}",
             threshold,

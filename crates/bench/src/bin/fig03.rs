@@ -57,18 +57,25 @@ fn main() {
     let cap = analytic::estimate(&fam, &perf, &c1, 1.0).capacity_rps;
     let rate = cap * 0.35;
 
-    let mut rows = Vec::new();
-    for (label, config) in [("C1", 1u8), ("C2", 3), ("C3", 19)] {
-        let d = Deployment::uniform(&fam, 1, MigConfig::new(config), variant).expect("fits");
-        let lat = service_p95(&fam, &perf, &d);
-        let mut sim = ServingSim::new(fam.clone(), perf, d, 7);
-        let w = sim.run_window(
-            rate,
-            SimDuration::from_secs(300.0),
-            SimDuration::from_secs(15.0),
-        );
-        rows.push((label, w.energy_per_request_j().expect("served"), lat));
-    }
+    // Each configuration's DES window is independently seeded: fan them
+    // out on the deterministic parallel engine.
+    let fam_shared = std::sync::Arc::new(fam.clone());
+    let rows = clover_simkit::par_map(
+        vec![("C1", 1u8), ("C2", 3), ("C3", 19)],
+        clover_bench::bench_threads(),
+        |(label, config)| {
+            let d =
+                Deployment::uniform(&fam_shared, 1, MigConfig::new(config), variant).expect("fits");
+            let lat = service_p95(&fam_shared, &perf, &d);
+            let mut sim = ServingSim::new(fam_shared.clone(), perf, d, 7);
+            let w = sim.run_window(
+                rate,
+                SimDuration::from_secs(300.0),
+                SimDuration::from_secs(15.0),
+            );
+            (label, w.energy_per_request_j().expect("served"), lat)
+        },
+    );
     let (e0, l0) = (rows[0].1, rows[0].2);
     println!(
         "{:<4} {:>16} {:>16}",

@@ -5,7 +5,7 @@
 //! Paper claims to reproduce: >75% carbon saving per application at 2-4%
 //! accuracy loss (~80% / ~3% overall), with p95 at or below BASE.
 
-use clover_bench::{header, run_std};
+use clover_bench::{header, run_grid};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -18,11 +18,14 @@ fn main() {
         "{:<16} {:>14} {:>14} {:>18}",
         "application", "acc loss (%)", "carbon red. (%)", "p95 (norm. BASE)"
     );
+    let cells: Vec<_> = Application::ALL
+        .into_iter()
+        .map(|app| (app, SchemeKind::Clover))
+        .collect();
     let mut loss_sum = 0.0;
     let mut save_sum = 0.0;
     let mut p95_sum = 0.0;
-    for app in Application::ALL {
-        let out = run_std(app, SchemeKind::Clover);
+    for out in run_grid(&cells) {
         println!(
             "{:<16} {:>14.2} {:>14.1} {:>18.2}",
             out.app, out.accuracy_loss_pct, out.carbon_saving_pct, out.p95_norm_to_base

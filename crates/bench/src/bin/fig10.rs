@@ -6,7 +6,7 @@
 //! accuracy; CLOVER sits closest to ORACLE and dominates BLOVER; CLOVER is
 //! within ~5% of optimal carbon savings.
 
-use clover_bench::{header, outcome_row, run_std};
+use clover_bench::{header, outcome_row, run_grid};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -15,18 +15,24 @@ fn main() {
         "Fig. 10",
         "Scheme comparison: carbon save vs accuracy gain (CISO March, 48 h)",
     );
-    for app in Application::ALL {
+    let schemes = [
+        SchemeKind::Co2Opt,
+        SchemeKind::Blover,
+        SchemeKind::Clover,
+        SchemeKind::Oracle,
+    ];
+    // One parallel fan-out over the full app × scheme grid.
+    let cells: Vec<_> = Application::ALL
+        .into_iter()
+        .flat_map(|app| schemes.into_iter().map(move |s| (app, s)))
+        .collect();
+    let outs = run_grid(&cells);
+    for (app, rows) in Application::ALL.into_iter().zip(outs.chunks(schemes.len())) {
         println!("--- {} ---", app.label());
         let mut clover_save = 0.0;
         let mut oracle_save = 0.0;
-        for scheme in [
-            SchemeKind::Co2Opt,
-            SchemeKind::Blover,
-            SchemeKind::Clover,
-            SchemeKind::Oracle,
-        ] {
-            let out = run_std(app, scheme);
-            outcome_row(&out);
+        for (scheme, out) in schemes.into_iter().zip(rows) {
+            outcome_row(out);
             match scheme {
                 SchemeKind::Clover => clover_save = out.carbon_saving_pct,
                 SchemeKind::Oracle => oracle_save = out.carbon_saving_pct,

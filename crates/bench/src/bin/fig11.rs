@@ -2,7 +2,7 @@
 //! scheme plus CO2OPT — Clover should track ORACLE closely while BLOVER
 //! lags and CO2OPT stays flat.
 
-use clover_bench::{header, run_std};
+use clover_bench::{header, run_grid};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -14,9 +14,14 @@ fn main() {
         SchemeKind::Clover,
         SchemeKind::Oracle,
     ];
-    for app in Application::ALL {
+    // One parallel fan-out over the full app × scheme grid.
+    let cells: Vec<_> = Application::ALL
+        .into_iter()
+        .flat_map(|app| schemes.into_iter().map(move |s| (app, s)))
+        .collect();
+    let all = run_grid(&cells);
+    for (app, outs) in Application::ALL.into_iter().zip(all.chunks(schemes.len())) {
         println!("--- {} ---", app.label());
-        let outs: Vec<_> = schemes.iter().map(|&s| run_std(app, s)).collect();
         print!("{:>6}", "hour");
         for s in &schemes {
             print!(" {:>9}", s.label());
@@ -25,14 +30,14 @@ fn main() {
         let hours = outs[0].timeline.len();
         for h in (0..hours).step_by(4) {
             print!("{h:>6}");
-            for out in &outs {
+            for out in outs {
                 print!(" {:>9.2}", out.timeline[h].objective_f);
             }
             println!();
         }
         // Mean objective summary: the ordering the paper reports.
         print!("{:>6}", "mean");
-        for out in &outs {
+        for out in outs {
             let mean: f64 =
                 out.timeline.iter().map(|p| p.objective_f).sum::<f64>() / out.timeline.len() as f64;
             print!(" {mean:>9.2}");

@@ -6,7 +6,7 @@
 //! evaluates fewer configurations (the "Saved" share) and a larger fraction
 //! of its evaluations meet the SLA.
 
-use clover_bench::{header, run_std};
+use clover_bench::{header, run_grid};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -16,8 +16,9 @@ fn main() {
         "Optimization time and exploration SLA compliance (Classification)",
     );
     let app = Application::ImageClassification;
-    let blover = run_std(app, SchemeKind::Blover);
-    let clover = run_std(app, SchemeKind::Clover);
+    let mut outs = run_grid(&[(app, SchemeKind::Blover), (app, SchemeKind::Clover)]).into_iter();
+    let blover = outs.next().expect("blover cell");
+    let clover = outs.next().expect("clover cell");
 
     println!("(a) optimization time as % of each 8 h window:");
     let bw = blover.opt_fraction_by_window(8.0);

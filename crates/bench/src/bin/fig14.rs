@@ -5,8 +5,8 @@
 //! Paper claims to reproduce: larger λ yields more carbon saving and less
 //! accuracy; with only 0.2-0.8% allowed loss Clover still saves 60-75%.
 
-use clover_bench::{header, scaled_horizon};
-use clover_core::experiment::{Experiment, ExperimentConfig};
+use clover_bench::{header, run_cells, scaled_horizon};
+use clover_core::experiment::ExperimentConfig;
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -16,16 +16,23 @@ fn main() {
 
     println!("(a) lambda sweep at constant 100 gCO2/kWh:");
     println!("{:>8} {:>14} {:>12}", "lambda", "carbon_save%", "acc_gain%");
-    for lambda in [0.1, 0.5, 0.9] {
-        let cfg = ExperimentConfig::builder(app)
-            .scheme(SchemeKind::Clover)
-            .constant_ci(100.0)
-            .n_gpus(10)
-            .lambda(lambda)
-            .horizon_hours((scaled_horizon() / 2.0).max(6.0))
-            .seed(2023)
-            .build();
-        let out = Experiment::new(cfg).run();
+    let lambdas = [0.1, 0.5, 0.9];
+    let sweep = run_cells(
+        lambdas
+            .into_iter()
+            .map(|lambda| {
+                ExperimentConfig::builder(app)
+                    .scheme(SchemeKind::Clover)
+                    .constant_ci(100.0)
+                    .n_gpus(10)
+                    .lambda(lambda)
+                    .horizon_hours((scaled_horizon() / 2.0).max(6.0))
+                    .seed(2023)
+                    .build()
+            })
+            .collect(),
+    );
+    for (lambda, out) in lambdas.into_iter().zip(&sweep) {
         println!(
             "{lambda:>8.1} {:>14.1} {:>12.2}",
             out.carbon_saving_pct, out.accuracy_gain_pct
@@ -38,15 +45,22 @@ fn main() {
         "{:>12} {:>14} {:>14}",
         "allowed loss", "carbon_save%", "actual loss%"
     );
-    for floor in [0.2, 0.4, 0.8, 1.6, 3.2] {
-        let cfg = ExperimentConfig::builder(app)
-            .scheme(SchemeKind::Clover)
-            .n_gpus(10)
-            .accuracy_floor(floor)
-            .horizon_hours((scaled_horizon() / 2.0).max(6.0))
-            .seed(2023)
-            .build();
-        let out = Experiment::new(cfg).run();
+    let floors = [0.2, 0.4, 0.8, 1.6, 3.2];
+    let limited = run_cells(
+        floors
+            .into_iter()
+            .map(|floor| {
+                ExperimentConfig::builder(app)
+                    .scheme(SchemeKind::Clover)
+                    .n_gpus(10)
+                    .accuracy_floor(floor)
+                    .horizon_hours((scaled_horizon() / 2.0).max(6.0))
+                    .seed(2023)
+                    .build()
+            })
+            .collect(),
+    );
+    for (floor, out) in floors.into_iter().zip(&limited) {
         println!(
             "{floor:>11.1}% {:>14.1} {:>14.2}",
             out.carbon_saving_pct, out.accuracy_loss_pct

@@ -5,10 +5,31 @@
 //! Paper claims to reproduce: BASE blows far past the SLA (>3×) with
 //! reduced GPUs; Clover meets the same service goals even with 2 GPUs.
 
-use clover_bench::{header, scaled_horizon};
-use clover_core::experiment::{Experiment, ExperimentConfig};
+use clover_bench::{header, run_cells, scaled_horizon};
+use clover_core::experiment::{ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
+
+/// Steady-state tail: the worst hourly p95 after the first quarter of the
+/// horizon, normalized to the 10-GPU BASE reference. The run starts from
+/// the BASE layout, so a reduced-GPU run begins overloaded until the
+/// scheduler reconfigures; the paper's deployments are not cold-started
+/// into overload.
+fn steady_norm(out: &ExperimentOutcome) -> String {
+    let skip = out.timeline.len() / 4;
+    let steady = out
+        .timeline
+        .iter()
+        .skip(skip)
+        .map(|h| h.p95_s)
+        .fold(0.0f64, f64::max);
+    let norm = steady / out.base_p95_s;
+    if norm > 3.0 {
+        "> 3".to_string()
+    } else {
+        format!("{norm:.2}")
+    }
+}
 
 fn main() {
     header(
@@ -19,43 +40,36 @@ fn main() {
         "{:<16} {:>8} {:>12} {:>12}",
         "application", "GPUs", "BASE", "CLOVER"
     );
+    let sizes = [("1/1x", 10usize), ("1/2.5x", 4), ("1/5x", 2)];
+    let schemes = [SchemeKind::Base, SchemeKind::Clover];
+    // Full app × size × scheme grid in one parallel fan-out.
+    let configs: Vec<_> = Application::ALL
+        .into_iter()
+        .flat_map(|app| {
+            sizes.into_iter().flat_map(move |(_, n)| {
+                schemes.into_iter().map(move |scheme| {
+                    ExperimentConfig::builder(app)
+                        .scheme(scheme)
+                        .n_gpus(n)
+                        .reference_gpus(10)
+                        .horizon_hours((scaled_horizon() / 2.0).max(6.0))
+                        .seed(2023)
+                        .build()
+                })
+            })
+        })
+        .collect();
+    let outs = run_cells(configs);
+    let mut rows = outs.chunks(schemes.len());
     for app in Application::ALL {
-        for (frac, n) in [("1/1x", 10usize), ("1/2.5x", 4), ("1/5x", 2)] {
-            let mut cells = Vec::new();
-            for scheme in [SchemeKind::Base, SchemeKind::Clover] {
-                let cfg = ExperimentConfig::builder(app)
-                    .scheme(scheme)
-                    .n_gpus(n)
-                    .reference_gpus(10)
-                    .horizon_hours((scaled_horizon() / 2.0).max(6.0))
-                    .seed(2023)
-                    .build();
-                let out = Experiment::new(cfg).run();
-                // Steady-state tail: the worst hourly p95 after the first
-                // quarter of the horizon. The run starts from the BASE
-                // layout, so a reduced-GPU run begins overloaded until the
-                // scheduler reconfigures; the paper's deployments are not
-                // cold-started into overload.
-                let skip = out.timeline.len() / 4;
-                let steady = out
-                    .timeline
-                    .iter()
-                    .skip(skip)
-                    .map(|h| h.p95_s)
-                    .fold(0.0f64, f64::max);
-                let norm = steady / out.base_p95_s;
-                cells.push(if norm > 3.0 {
-                    "> 3".to_string()
-                } else {
-                    format!("{norm:.2}")
-                });
-            }
+        for (frac, n) in sizes {
+            let pair = rows.next().expect("grid row");
             println!(
                 "{:<16} {:>8} {:>12} {:>12}",
                 app.label(),
                 format!("{n} ({frac})"),
-                cells[0],
-                cells[1]
+                steady_norm(&pair[0]),
+                steady_norm(&pair[1])
             );
         }
     }

@@ -5,9 +5,9 @@
 //! Paper claims to reproduce: >60% carbon saving with limited accuracy
 //! loss across all three traces and all applications.
 
-use clover_bench::{header, scaled_horizon};
+use clover_bench::{header, run_cells, scaled_horizon};
 use clover_carbon::Region;
-use clover_core::experiment::{Experiment, ExperimentConfig};
+use clover_core::experiment::ExperimentConfig;
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
 
@@ -17,24 +17,31 @@ fn main() {
         "{:<22} {:<16} {:>14} {:>14}",
         "trace", "application", "acc loss (%)", "carbon save (%)"
     );
-    for region in Region::ALL {
-        for app in Application::ALL {
-            let cfg = ExperimentConfig::builder(app)
+    // Full region × app grid in one parallel fan-out.
+    let cells: Vec<_> = Region::ALL
+        .into_iter()
+        .flat_map(|region| Application::ALL.into_iter().map(move |app| (region, app)))
+        .collect();
+    let configs = cells
+        .iter()
+        .map(|&(region, app)| {
+            ExperimentConfig::builder(app)
                 .scheme(SchemeKind::Clover)
                 .region(region)
                 .n_gpus(10)
                 .horizon_hours(scaled_horizon())
                 .seed(2023)
-                .build();
-            let out = Experiment::new(cfg).run();
-            println!(
-                "{:<22} {:<16} {:>14.2} {:>14.1}",
-                region.to_string(),
-                app.label(),
-                out.accuracy_loss_pct,
-                out.carbon_saving_pct
-            );
-        }
+                .build()
+        })
+        .collect();
+    for (&(region, app), out) in cells.iter().zip(run_cells(configs)) {
+        println!(
+            "{:<22} {:<16} {:>14.2} {:>14.1}",
+            region.to_string(),
+            app.label(),
+            out.accuracy_loss_pct,
+            out.carbon_saving_pct
+        );
     }
     println!();
     println!("(paper: >60% carbon saving with limited accuracy loss everywhere)");

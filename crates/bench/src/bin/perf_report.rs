@@ -1,0 +1,300 @@
+//! Engine performance report: wall time per experiment grid (serial vs
+//! parallel), DES events/sec, and per-window allocation counts, emitted as
+//! machine-readable `BENCH_engine.json` so the performance trajectory of
+//! the engine is tracked across PRs.
+//!
+//! The report doubles as the determinism gate for the parallel engine: for
+//! every grid the parallel fan-out's outcome digests are compared against
+//! the serial reference and the process exits non-zero on any divergence,
+//! which is what CI keys off.
+//!
+//! Environment knobs:
+//! - `CLOVER_PERF_HOURS`   — simulated horizon per cell (default 6).
+//! - `CLOVER_PERF_THREADS` — parallel worker count (default 4).
+//! - `CLOVER_BENCH_SCALE`  — ignored here; the grids are already smoke-sized.
+
+use clover_bench::header;
+use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+use clover_models::PerfModel;
+use clover_serving::{Deployment, ServingSim};
+use clover_simkit::SimDuration;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counting wrapper around the system allocator, so the report can state
+/// how many heap allocations one serving window costs (the DES hot-path
+/// number the scratch reuse is meant to keep flat).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        ALLOC_BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v: &f64| v > 0.0)
+        .unwrap_or(default)
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// A named experiment grid: one parallel fan-out whose serial run is the
+/// determinism reference.
+struct Grid {
+    name: &'static str,
+    configs: Vec<ExperimentConfig>,
+}
+
+fn smoke_config(app: Application, scheme: SchemeKind, seed: u64, hours: f64) -> ExperimentConfig {
+    ExperimentConfig::builder(app)
+        .scheme(scheme)
+        .n_gpus(4)
+        .horizon_hours(hours)
+        .sim_window_s(20.0)
+        .seed(seed)
+        .build()
+}
+
+fn grids(hours: f64) -> Vec<Grid> {
+    let mut out = Vec::new();
+    // The Table-1 application matrix crossed with every online scheme
+    // (ORACLE's exhaustive offline profile is deliberately excluded from
+    // the smoke grid).
+    out.push(Grid {
+        name: "table1_app_scheme_matrix",
+        configs: Application::ALL
+            .into_iter()
+            .flat_map(|app| {
+                [
+                    SchemeKind::Base,
+                    SchemeKind::Co2Opt,
+                    SchemeKind::Blover,
+                    SchemeKind::Clover,
+                ]
+                .into_iter()
+                .map(move |s| smoke_config(app, s, 2023, hours))
+            })
+            .collect(),
+    });
+    // Fig. 9's shape: Clover across the applications.
+    out.push(Grid {
+        name: "fig09_clover_per_app",
+        configs: Application::ALL
+            .into_iter()
+            .map(|app| smoke_config(app, SchemeKind::Clover, 2023, hours))
+            .collect(),
+    });
+    // The multi-seed entry point: one cell replicated across seeds.
+    out.push(Grid {
+        name: "seed_sweep_clover",
+        configs: (0..6)
+            .map(|seed| {
+                smoke_config(
+                    Application::ImageClassification,
+                    SchemeKind::Clover,
+                    seed,
+                    hours,
+                )
+            })
+            .collect(),
+    });
+    out
+}
+
+struct GridResult {
+    name: &'static str,
+    cells: usize,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    speedup: f64,
+    sim_events: u64,
+    serial_events_per_sec: f64,
+    deterministic: bool,
+}
+
+fn run_grid(grid: Grid, threads: usize) -> GridResult {
+    let cells = grid.configs.len();
+    let t0 = Instant::now();
+    let serial = Experiment::run_cells(grid.configs.clone(), 1);
+    let serial_wall_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let parallel = Experiment::run_cells(grid.configs, threads);
+    let parallel_wall_s = t1.elapsed().as_secs_f64();
+    let digests: Vec<u64> = serial.iter().map(ExperimentOutcome::digest).collect();
+    let par_digests: Vec<u64> = parallel.iter().map(ExperimentOutcome::digest).collect();
+    let deterministic = digests == par_digests;
+    let sim_events: u64 = serial.iter().map(|o| o.sim_events).sum();
+    GridResult {
+        name: grid.name,
+        cells,
+        serial_wall_s,
+        parallel_wall_s,
+        speedup: serial_wall_s / parallel_wall_s.max(1e-9),
+        sim_events,
+        serial_events_per_sec: sim_events as f64 / serial_wall_s.max(1e-9),
+        deterministic,
+    }
+}
+
+struct DesResult {
+    windows: usize,
+    events: u64,
+    wall_s: f64,
+    events_per_sec: f64,
+    allocs_per_window: f64,
+    bytes_per_window: f64,
+}
+
+/// Hot-loop microbenchmark: one reused simulator serving many windows.
+/// Allocation counts are taken over the steady-state windows (the first
+/// window warms the scratch buffers and is excluded).
+fn des_microbench() -> DesResult {
+    let fam = std::sync::Arc::new(Application::ImageClassification.family());
+    let perf = PerfModel::a100();
+    let deployment = Deployment::base(&fam, 4);
+    let cap = clover_serving::analytic::estimate(&fam, &perf, &deployment, 1.0).capacity_rps;
+    let mut sim = ServingSim::new(fam, perf, deployment, 7);
+    let window = SimDuration::from_secs(60.0);
+    let warmup = SimDuration::from_secs(3.0);
+    let rate = cap * 0.7;
+
+    // Warm the scratch so steady-state windows are measured.
+    sim.run_window(rate, window, warmup);
+
+    let windows = 40usize;
+    let (a0, b0) = allocs_now();
+    let t0 = Instant::now();
+    let mut events = 0u64;
+    for _ in 0..windows {
+        let w = sim.run_window(rate, window, warmup);
+        events += w.sim_events;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let (a1, b1) = allocs_now();
+    DesResult {
+        windows,
+        events,
+        wall_s,
+        events_per_sec: events as f64 / wall_s.max(1e-9),
+        allocs_per_window: (a1 - a0) as f64 / windows as f64,
+        bytes_per_window: (b1 - b0) as f64 / windows as f64,
+    }
+}
+
+fn main() {
+    header(
+        "perf_report",
+        "Engine wall time, DES throughput, determinism",
+    );
+    let hours = env_f64("CLOVER_PERF_HOURS", 6.0);
+    let threads = env_usize("CLOVER_PERF_THREADS", 4);
+
+    let des = des_microbench();
+    println!(
+        "DES hot loop: {} windows, {:.2e} events, {:.0} events/sec, {:.1} allocs/window ({:.0} B)",
+        des.windows,
+        des.events as f64,
+        des.events_per_sec,
+        des.allocs_per_window,
+        des.bytes_per_window
+    );
+    println!();
+
+    let mut results = Vec::new();
+    for grid in grids(hours) {
+        let r = run_grid(grid, threads);
+        println!(
+            "{:<26} {:>2} cells  serial {:>6.2}s  parallel({}) {:>6.2}s  speedup {:>4.2}x  {}",
+            r.name,
+            r.cells,
+            r.serial_wall_s,
+            threads,
+            r.parallel_wall_s,
+            r.speedup,
+            if r.deterministic {
+                "deterministic"
+            } else {
+                "DIVERGED"
+            }
+        );
+        results.push(r);
+    }
+
+    let all_deterministic = results.iter().all(|r| r.deterministic);
+
+    // Hand-rolled JSON: the offline serde stub does not serialize.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"schema\": \"clover.bench.engine.v1\",\n");
+    json.push_str(&format!("  \"horizon_hours\": {hours},\n"));
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"deterministic\": {all_deterministic},\n"));
+    json.push_str(&format!(
+        "  \"des\": {{\"windows\": {}, \"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"allocs_per_window\": {:.2}, \"bytes_per_window\": {:.1}}},\n",
+        des.windows, des.events, des.wall_s, des.events_per_sec, des.allocs_per_window, des.bytes_per_window
+    ));
+    json.push_str("  \"grids\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cells\": {}, \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"sim_events\": {}, \"serial_events_per_sec\": {:.1}, \"deterministic\": {}}}{}\n",
+            r.name,
+            r.cells,
+            r.serial_wall_s,
+            r.parallel_wall_s,
+            r.speedup,
+            r.sim_events,
+            r.serial_events_per_sec,
+            r.deterministic,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let path = "BENCH_engine.json";
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!();
+    println!("wrote {path}");
+
+    if !all_deterministic {
+        eprintln!("ERROR: parallel execution diverged from the serial reference");
+        std::process::exit(1);
+    }
+}

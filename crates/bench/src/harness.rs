@@ -4,6 +4,12 @@
 //! the experiment plumbing here. The environment variable
 //! `CLOVER_BENCH_SCALE` (default 1.0) scales the simulated horizon so smoke
 //! runs finish quickly; EXPERIMENTS.md records full-scale (48 h) runs.
+//!
+//! Experiment grids (scheme × application × seed × λ) fan out over the
+//! deterministic parallel engine: [`run_cells`]/[`run_grid`] dispatch the
+//! cells to `clover-simkit`'s ordered `par_map`, so the figures print
+//! byte-identical numbers at any thread count (`CLOVER_THREADS` to pin,
+//! default: the machine's parallelism).
 
 use clover_carbon::Region;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
@@ -61,4 +67,27 @@ pub fn std_config(app: Application, scheme: SchemeKind) -> ExperimentConfig {
 /// Builds and runs the standard experiment.
 pub fn run_std(app: Application, scheme: SchemeKind) -> ExperimentOutcome {
     Experiment::new(std_config(app, scheme)).run()
+}
+
+/// Worker threads for experiment fan-out: `CLOVER_THREADS` when set,
+/// otherwise the machine's available parallelism.
+pub fn bench_threads() -> usize {
+    clover_simkit::default_threads()
+}
+
+/// Runs a batch of experiment cells in parallel (outcomes in input order,
+/// byte-identical to a serial run — every cell is self-seeded).
+pub fn run_cells(configs: Vec<ExperimentConfig>) -> Vec<ExperimentOutcome> {
+    Experiment::run_cells(configs, bench_threads())
+}
+
+/// Runs the standard experiment for every `(app, scheme)` cell in parallel,
+/// outcomes in input order.
+pub fn run_grid(cells: &[(Application, SchemeKind)]) -> Vec<ExperimentOutcome> {
+    run_cells(
+        cells
+            .iter()
+            .map(|&(app, scheme)| std_config(app, scheme))
+            .collect(),
+    )
 }

@@ -11,6 +11,7 @@ use crate::intensity::{CarbonIntensity, CarbonMass, Energy};
 use crate::trace::CarbonTrace;
 use clover_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Datacenter power usage effectiveness: total facility power divided by IT
 /// power. Always ≥ 1.
@@ -55,7 +56,7 @@ impl Default for Pue {
 /// [`CarbonLedger::record_energy_at`] for instantaneous charges.
 #[derive(Debug, Clone)]
 pub struct CarbonLedger {
-    trace: CarbonTrace,
+    trace: Arc<CarbonTrace>,
     pue: Pue,
     it_energy: Energy,
     facility_energy: Energy,
@@ -63,10 +64,13 @@ pub struct CarbonLedger {
 }
 
 impl CarbonLedger {
-    /// Creates a ledger over `trace` with the given PUE.
-    pub fn new(trace: CarbonTrace, pue: Pue) -> Self {
+    /// Creates a ledger over `trace` with the given PUE. The trace is
+    /// shared (`Arc`), so several ledgers over the same trace (scheme and
+    /// BASE reference of one experiment) cost no deep copies; a plain
+    /// `CarbonTrace` still works.
+    pub fn new(trace: impl Into<Arc<CarbonTrace>>, pue: Pue) -> Self {
         CarbonLedger {
-            trace,
+            trace: trace.into(),
             pue,
             it_energy: Energy::ZERO,
             facility_energy: Energy::ZERO,

@@ -14,6 +14,7 @@ use crate::intensity::CarbonIntensity;
 use crate::trace::CarbonTrace;
 use clover_simkit::SimTime;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// What the monitor reports on each observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -32,7 +33,7 @@ pub struct MonitorEvent {
 /// Watches a carbon trace and flags drifts beyond a relative threshold.
 #[derive(Debug, Clone)]
 pub struct CarbonMonitor {
-    trace: CarbonTrace,
+    trace: Arc<CarbonTrace>,
     threshold: f64,
     reference: CarbonIntensity,
 }
@@ -42,9 +43,11 @@ impl CarbonMonitor {
     pub const DEFAULT_THRESHOLD: f64 = 0.05;
 
     /// Creates a monitor over `trace` with the given relative threshold.
-    /// The initial reference is the intensity at t = 0.
-    pub fn new(trace: CarbonTrace, threshold: f64) -> Self {
+    /// The initial reference is the intensity at t = 0. The trace is shared
+    /// (`Arc`); a plain `CarbonTrace` still works.
+    pub fn new(trace: impl Into<Arc<CarbonTrace>>, threshold: f64) -> Self {
         assert!(threshold >= 0.0, "negative threshold");
+        let trace = trace.into();
         let reference = trace.at(SimTime::ZERO);
         CarbonMonitor {
             trace,
@@ -54,7 +57,7 @@ impl CarbonMonitor {
     }
 
     /// Creates a monitor with the paper's 5% threshold.
-    pub fn with_default_threshold(trace: CarbonTrace) -> Self {
+    pub fn with_default_threshold(trace: impl Into<Arc<CarbonTrace>>) -> Self {
         Self::new(trace, Self::DEFAULT_THRESHOLD)
     }
 

@@ -18,11 +18,11 @@ use clover_mig::ReconfigCost;
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{Deployment, ServingSim, WindowMetrics};
 use clover_simkit::SimDuration;
+use std::sync::Arc;
 
 /// Evaluates candidate deployments with short live DES windows.
 pub struct DesEvaluator {
-    family: ModelFamily,
-    perf: PerfModel,
+    family: Arc<ModelFamily>,
     /// Offered load during evaluation, req/s.
     pub rate_rps: f64,
     /// Measurement window per evaluation.
@@ -34,6 +34,11 @@ pub struct DesEvaluator {
     current: Deployment,
     seed: u64,
     evals_done: u64,
+    /// One simulator reused (re-seeded) across evaluations, so each
+    /// candidate measurement costs neither a family deep-clone nor fresh
+    /// scratch allocations; [`ServingSim::reseed`] makes this bit-identical
+    /// to constructing a new simulator per candidate.
+    sim: ServingSim,
     /// Serving metrics of every evaluation window, for run accounting.
     pub window_log: Vec<WindowMetrics>,
 }
@@ -48,15 +53,16 @@ impl DesEvaluator {
 
     /// Creates an evaluator for the given application and load.
     pub fn new(
-        family: ModelFamily,
+        family: impl Into<Arc<ModelFamily>>,
         perf: PerfModel,
         rate_rps: f64,
         initial: Deployment,
         seed: u64,
     ) -> Self {
+        let family = family.into();
+        let sim = ServingSim::new(family.clone(), perf, initial.clone(), seed);
         DesEvaluator {
             family,
-            perf,
             rate_rps,
             window: SimDuration::from_secs(Self::DEFAULT_WINDOW_S),
             warmup: SimDuration::from_secs(Self::DEFAULT_WARMUP_S),
@@ -64,6 +70,7 @@ impl DesEvaluator {
             current: initial,
             seed,
             evals_done: 0,
+            sim,
             window_log: Vec::new(),
         }
     }
@@ -103,22 +110,23 @@ impl DesEvaluator {
             .seed
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(self.evals_done);
-        let mut sim = ServingSim::new(self.family.clone(), self.perf, candidate.clone(), seed);
-        let metrics = sim.run_window(self.rate_rps, self.window, self.warmup);
+        // Re-seeding the persistent simulator is bit-identical to building
+        // `ServingSim::new(family, perf, candidate, seed)` here, but reuses
+        // its warm scratch buffers across the invocation's many windows.
+        self.sim.reseed(seed);
+        self.sim.set_deployment(candidate.clone());
+        let metrics = self.sim.run_window(self.rate_rps, self.window, self.warmup);
 
         let accuracy = metrics
             .accuracy_pct(&self.family)
             .unwrap_or(self.family.accuracy_base());
         // An evaluation window that served nothing (fully wedged) is
-        // reported as an extreme violator so SA steers away.
+        // reported as an extreme violator so SA steers away: unmeasured
+        // p95 (`None`) and per-request energy both land at penalty values.
         let energy = metrics
             .energy_per_request_j()
             .unwrap_or(f64::INFINITY.min(1e12));
-        let p95 = if metrics.served == 0 {
-            1e6
-        } else {
-            metrics.p95_latency_s
-        };
+        let p95 = metrics.p95_latency_s.unwrap_or(1e6);
 
         let cost_s = downtime.as_secs()
             + variant_downtime.as_secs()

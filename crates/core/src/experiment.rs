@@ -37,6 +37,7 @@ use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
 use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
 use clover_workload::{Workload, WorkloadKind};
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Where the carbon intensity comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -284,6 +285,10 @@ pub struct ExperimentOutcome {
     pub optimization_fraction: f64,
     /// Requests served (extrapolated to the full horizon).
     pub served_scaled: f64,
+    /// Discrete events the DES engine processed across every simulated
+    /// window of the run (serving hours, evaluation windows, and the BASE
+    /// reference) — the workload denominator for events/sec reporting.
+    pub sim_events: u64,
     /// Per-hour timeline.
     pub timeline: Vec<HourPoint>,
     /// Optimization invocations.
@@ -294,6 +299,60 @@ impl ExperimentOutcome {
     /// Total configurations evaluated across all invocations.
     pub fn evals_total(&self) -> usize {
         self.invocations.iter().map(|i| i.evals.len()).sum()
+    }
+
+    /// An order-sensitive 64-bit digest over the outcome's numeric results
+    /// (bit patterns, not rounded values): totals, per-hour timeline and
+    /// invocation bookkeeping. Two outcomes digest equal iff the runs were
+    /// numerically identical — the cheap way to pin that a parallel grid
+    /// reproduced its serial reference byte for byte.
+    pub fn digest(&self) -> u64 {
+        // FNV-1a over the f64 bit patterns and counters.
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for v in [
+            self.rate_rps,
+            self.sla_p95_s,
+            self.total_carbon_g,
+            self.base_carbon_g,
+            self.accuracy_pct,
+            self.p95_s,
+            self.base_p95_s,
+            self.energy_per_request_j,
+            self.optimization_time_s,
+            self.served_scaled,
+        ] {
+            eat(v.to_bits());
+        }
+        eat(self.n_gpus as u64);
+        eat(self.sim_events);
+        eat(self.invocations.len() as u64);
+        eat(self.evals_total() as u64);
+        for p in &self.timeline {
+            eat(u64::from(p.hour));
+            eat(p.ci_g_per_kwh.to_bits());
+            eat(p.objective_f.to_bits());
+            eat(p.accuracy_pct.to_bits());
+            eat(p.p95_s.to_bits());
+            eat(p.energy_per_request_j.to_bits());
+            eat(p.carbon_save_pct.to_bits());
+        }
+        for inv in &self.invocations {
+            eat(inv.at_hours.to_bits());
+            eat(inv.time_spent_s.to_bits());
+            for e in &inv.evals {
+                eat(u64::from(e.order));
+                eat(e.delta_carbon_pct.to_bits());
+                eat(e.delta_accuracy_pct.to_bits());
+                eat(e.objective_f.to_bits());
+                eat(u64::from(e.sla_ok));
+                eat(u64::from(e.accepted));
+            }
+        }
+        h
     }
 
     /// Evaluated configurations that met the SLA.
@@ -322,11 +381,15 @@ impl ExperimentOutcome {
 }
 
 /// A runnable experiment with its derived workload, SLA and objective.
+///
+/// Heavy shared inputs — the model family and the carbon trace — are held
+/// behind `Arc`s: every simulator, evaluator, monitor and ledger spun up by
+/// [`Experiment::run`] shares them instead of deep-cloning per construction.
 pub struct Experiment {
     cfg: ExperimentConfig,
-    family: ModelFamily,
+    family: Arc<ModelFamily>,
     perf: PerfModel,
-    trace: CarbonTrace,
+    trace: Arc<CarbonTrace>,
     /// Offered base (long-run mean) rate, req/s.
     pub rate_rps: f64,
     /// The traffic scenario bound to the derived base rate.
@@ -340,19 +403,19 @@ pub struct Experiment {
 impl Experiment {
     /// Derives workload, SLA and objective baselines for `cfg`.
     pub fn new(cfg: ExperimentConfig) -> Self {
-        let family = cfg.app.family();
+        let family = Arc::new(cfg.app.family());
         let perf = PerfModel::a100();
-        let trace = match cfg.trace {
+        let trace = Arc::new(match cfg.trace {
             TraceSource::Region(r) => r.eval_trace(cfg.seed),
             TraceSource::Constant(v) => CarbonTrace::constant(
                 CarbonIntensity::from_g_per_kwh(v),
                 SimDuration::from_hours(cfg.horizon_hours + 1.0),
             ),
-        };
+        });
 
         // Workload: BASE on the reference GPUs at the utilization target.
         let base_ref = Deployment::base(&family, cfg.reference_gpus);
-        let capacity = analytic::estimate(&family, &perf, &base_ref, 1.0).capacity_rps;
+        let capacity = analytic::estimate(family.as_ref(), &perf, &base_ref, 1.0).capacity_rps;
         let rate_rps = capacity * cfg.utilization_target;
         let workload = Workload::new(cfg.workload.clone(), rate_rps);
 
@@ -367,7 +430,7 @@ impl Experiment {
             SimDuration::from_secs(16.0),
         );
         let base_energy = w.energy_per_request_j().expect("calibration served");
-        let sla = w.p95_latency_s * cfg.sla_headroom;
+        let sla = w.p95_latency_s.expect("calibration served") * cfg.sla_headroom;
         let ci_ref = trace.mean();
         let c_base = Objective::carbon_per_request_g(base_energy, ci_ref);
 
@@ -392,6 +455,35 @@ impl Experiment {
     /// The configuration this experiment runs.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
+    }
+
+    /// Runs one experiment cell per config on `threads` worker threads,
+    /// returning outcomes in input order.
+    ///
+    /// Every cell derives all of its randomness from its own
+    /// `ExperimentConfig::seed`, so the parallel grid is **byte-identical**
+    /// to running the configs serially (pinned by
+    /// `tests/par_determinism.rs`); `threads <= 1` *is* the serial run.
+    pub fn run_cells(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<ExperimentOutcome> {
+        clover_simkit::par_map(configs, threads, |cfg| Experiment::new(cfg).run())
+    }
+
+    /// Multi-seed entry point: runs `cfg` once per seed (overriding
+    /// `cfg.seed`) on `threads` workers, outcomes in seed order.
+    pub fn run_many(
+        cfg: &ExperimentConfig,
+        seeds: &[u64],
+        threads: usize,
+    ) -> Vec<ExperimentOutcome> {
+        let configs = seeds
+            .iter()
+            .map(|&seed| {
+                let mut c = cfg.clone();
+                c.seed = seed;
+                c
+            })
+            .collect();
+        Self::run_cells(configs, threads)
     }
 
     /// The carbon trace in force.
@@ -437,6 +529,7 @@ impl Experiment {
         let mut per_variant = vec![0.0f64; self.family.len()];
         let mut served_scaled = 0.0f64;
         let mut base_served_scaled = 0.0f64;
+        let mut sim_events = 0u64;
         let mut optimization_time_s = 0.0f64;
         let mut timeline = Vec::with_capacity(hours as usize);
         let mut invocations = Vec::new();
@@ -477,6 +570,7 @@ impl Experiment {
                     });
                     // Exploration traffic is real traffic: fold it in 1:1.
                     for w in evaluator.take_window_log() {
+                        sim_events += w.sim_events;
                         Self::accumulate(
                             &mut ledger,
                             &mut hist,
@@ -496,6 +590,7 @@ impl Experiment {
             // workload's arrival process anchored at the hour's start.
             let mut arrivals = self.workload.process_from(t);
             let w = sim.run_window_with(arrivals.as_mut(), window, warmup);
+            sim_events += w.sim_events;
             Self::accumulate(
                 &mut ledger,
                 &mut hist,
@@ -506,12 +601,16 @@ impl Experiment {
                 scale,
             );
 
-            sla_violated_last_hour =
-                w.p95_latency_s > self.objective.l_tail_s && self.cfg.scheme.is_carbon_aware();
+            // A silent hour has no measured tail: it must not count as an
+            // SLA violation (nor spuriously pass one — `p95_latency_s` is
+            // `None`, not 0.0, for zero-served windows).
+            sla_violated_last_hour = w.p95_latency_s.is_some_and(|p| p > self.objective.l_tail_s)
+                && self.cfg.scheme.is_carbon_aware();
             let hour_acc = w
                 .accuracy_pct(&self.family)
                 .unwrap_or(self.family.accuracy_base());
             let hour_energy = w.energy_per_request_j().unwrap_or(f64::NAN);
+            let hour_p95 = w.p95_latency_s.unwrap_or(f64::NAN);
             // An hour that served nothing (e.g. a non-looping trace that
             // ran dry mid-horizon) has no per-request metrics; its
             // timeline entries stay NaN instead of reaching the objective.
@@ -519,7 +618,7 @@ impl Experiment {
                 let point = MeasuredPoint {
                     accuracy_pct: hour_acc,
                     energy_per_request_j: hour_energy,
-                    p95_latency_s: w.p95_latency_s,
+                    p95_latency_s: hour_p95,
                 };
                 (
                     self.objective.f(&point, ci),
@@ -533,7 +632,7 @@ impl Experiment {
                 ci_g_per_kwh: ci.g_per_kwh(),
                 objective_f,
                 accuracy_pct: hour_acc,
-                p95_s: w.p95_latency_s,
+                p95_s: hour_p95,
                 energy_per_request_j: hour_energy,
                 carbon_save_pct,
             });
@@ -541,6 +640,7 @@ impl Experiment {
             // Synchronized BASE reference hour, under the same workload.
             let mut base_arrivals = self.workload.process_from(t);
             let bw = base_sim.run_window_with(base_arrivals.as_mut(), window, warmup);
+            sim_events += bw.sim_events;
             base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * scale));
             base_hist.merge(&bw.latency_hist);
             base_served_scaled += bw.served as f64 * scale;
@@ -562,7 +662,10 @@ impl Experiment {
             }
         };
         let a_base = self.family.accuracy_base();
-        let p95_s = hist.quantile(0.95).unwrap_or(0.0);
+        // A run that served nothing has no measured tail: NaN (like the
+        // per-request metrics below), never 0.0 — `sla_met` compares
+        // false against NaN, so a fully wedged run cannot pass its SLA.
+        let p95_s = hist.quantile(0.95).unwrap_or(f64::NAN);
         let base_p95_s = base_hist.quantile(0.95).unwrap_or(f64::NAN);
         let horizon_s = cfg.horizon_hours * 3600.0;
         let energy_per_request_j = if served_scaled > 0.0 {
@@ -609,6 +712,7 @@ impl Experiment {
             optimization_time_s,
             optimization_fraction: optimization_time_s / horizon_s,
             served_scaled,
+            sim_events,
             timeline,
             invocations,
         }

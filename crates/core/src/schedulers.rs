@@ -340,7 +340,7 @@ impl OracleScheduler {
                         .accuracy_pct(ctx.family)
                         .unwrap_or(ctx.family.accuracy_base()),
                     energy_per_request_j: m.energy_per_request_j().unwrap_or(1e12),
-                    p95_latency_s: if m.served == 0 { 1e6 } else { m.p95_latency_s },
+                    p95_latency_s: m.p95_latency_s.unwrap_or(1e6),
                 };
                 ProfiledConfig { deployment, point }
             })

@@ -31,6 +31,27 @@ pub fn served_weighted_accuracy(
     Some(weighted / total as f64)
 }
 
+/// [`served_weighted_accuracy`] over a dense count array indexed by variant
+/// ordinal (`counts[i]` = requests served by `VariantId(i)`), the layout the
+/// simulator's per-window counters already use — no intermediate
+/// `(VariantId, u64)` vector needs to be allocated on the DES hot path.
+///
+/// Returns `None` when no requests were served.
+pub fn served_weighted_accuracy_counts(family: &ModelFamily, counts: &[u64]) -> Option<f64> {
+    debug_assert!(counts.len() <= family.len(), "more counters than variants");
+    let mut total = 0u64;
+    let mut weighted = 0.0f64;
+    for (variant, &n) in family.variants.iter().zip(counts.iter()) {
+        total += n;
+        weighted += variant.accuracy_pct * n as f64;
+    }
+    if total == 0 {
+        None
+    } else {
+        Some(weighted / total as f64)
+    }
+}
+
 /// Analytic prediction of mixture accuracy for a set of deployed instances,
 /// weighting each instance by its service capacity (requests/s).
 ///
@@ -73,6 +94,21 @@ mod tests {
             served_weighted_accuracy(&fam, &[(VariantId(0), 300), (VariantId(3), 100)]).unwrap();
         let expected = (79.1 * 300.0 + 84.3 * 100.0) / 400.0;
         assert!((acc - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counts_slice_matches_pair_form() {
+        let fam = efficientnet();
+        let mut counts = vec![0u64; fam.len()];
+        counts[0] = 300;
+        counts[3] = 100;
+        let pairs = served_weighted_accuracy(&fam, &[(VariantId(0), 300), (VariantId(3), 100)]);
+        assert_eq!(served_weighted_accuracy_counts(&fam, &counts), pairs);
+        assert_eq!(served_weighted_accuracy_counts(&fam, &[]), None);
+        assert_eq!(
+            served_weighted_accuracy_counts(&fam, &vec![0; fam.len()]),
+            None
+        );
     }
 
     #[test]

@@ -20,7 +20,10 @@ pub mod perf;
 pub mod variant;
 pub mod zoo;
 
-pub use accuracy::{capacity_weighted_accuracy, delta_accuracy_pct, served_weighted_accuracy};
+pub use accuracy::{
+    capacity_weighted_accuracy, delta_accuracy_pct, served_weighted_accuracy,
+    served_weighted_accuracy_counts,
+};
 pub use perf::PerfModel;
 pub use variant::{ModelFamily, ModelVariant, VariantId};
 pub use zoo::Application;

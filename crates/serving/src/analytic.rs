@@ -198,7 +198,8 @@ mod tests {
         );
         let rel_mean = (est.mean_latency_s - w.mean_latency_s).abs() / w.mean_latency_s;
         assert!(rel_mean < 0.35, "mean mismatch {rel_mean}");
-        let rel_p95 = (est.p95_latency_s - w.p95_latency_s).abs() / w.p95_latency_s;
+        let sim_p95 = w.p95_latency_s.expect("served");
+        let rel_p95 = (est.p95_latency_s - sim_p95).abs() / sim_p95;
         assert!(rel_p95 < 0.5, "p95 mismatch {rel_p95}");
         let e_sim = w.energy_per_request_j().unwrap();
         let rel_e = (est.energy_per_request_j - e_sim).abs() / e_sim;

@@ -18,6 +18,14 @@
 //! small residual, and each physical GPU pays a constant static draw. The
 //! carbon ledger later multiplies these joules by the time-varying grid
 //! intensity.
+//!
+//! The simulator is built for reuse: an experiment runs hundreds of hourly
+//! windows (plus the optimizer's evaluation windows) against one
+//! [`ServingSim`], so the per-window working state — event heap, FIFO,
+//! instance table, idle list, per-variant counters, latency histogram —
+//! lives in a [`SimScratch`] that is reset (allocation kept) rather than
+//! reallocated each window. The model family is shared by `Arc`, making
+//! simulator construction O(1) instead of a deep clone of the zoo tables.
 
 use crate::deployment::Deployment;
 use clover_models::{ModelFamily, PerfModel, VariantId};
@@ -25,6 +33,7 @@ use clover_simkit::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
 use clover_workload::{ArrivalProcess, PoissonProcess};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Named RNG sub-streams of one serving window.
 ///
@@ -66,10 +75,16 @@ pub struct WindowMetrics {
     pub dropped: u64,
     /// Mean end-to-end latency (wait + service) of served requests, seconds.
     pub mean_latency_s: f64,
-    /// p95 end-to-end latency, seconds.
-    pub p95_latency_s: f64,
+    /// p95 end-to-end latency, seconds. `None` when the window served
+    /// nothing — a silent window has no measured tail, and reporting 0.0
+    /// would spuriously pass any SLA check.
+    pub p95_latency_s: Option<f64>,
     /// Maximum observed latency, seconds.
     pub max_latency_s: f64,
+    /// Discrete events processed while simulating the window (arrivals and
+    /// completions, warmup and drain included) — the denominator for
+    /// events/sec engine-throughput reporting.
+    pub sim_events: u64,
     /// Served request counts per variant ordinal.
     pub per_variant_served: Vec<u64>,
     /// Dynamic (busy-slice) energy within the span, joules.
@@ -113,13 +128,7 @@ impl WindowMetrics {
     /// Mixture accuracy of the served requests (weighted average of the
     /// variants' published accuracy), percent.
     pub fn accuracy_pct(&self, family: &ModelFamily) -> Option<f64> {
-        let pairs: Vec<(VariantId, u64)> = self
-            .per_variant_served
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| (VariantId(i as u8), n))
-            .collect();
-        clover_models::served_weighted_accuracy(family, &pairs)
+        clover_models::served_weighted_accuracy_counts(family, &self.per_variant_served)
     }
 
     /// Fraction of arrived requests that were dropped.
@@ -155,22 +164,68 @@ enum Ev {
     Done { instance: u32 },
 }
 
+/// Per-window working state, carried across the hundreds of windows an
+/// experiment simulates so the DES hot path allocates (almost) nothing per
+/// window: collections are cleared, not rebuilt, and keep their capacity.
+struct SimScratch {
+    queue: EventQueue<Ev>,
+    instances: Vec<Instance>,
+    fifo: VecDeque<SimTime>,
+    idle: Vec<u32>,
+    per_variant: Vec<u64>,
+    hist: LatencyHistogram,
+}
+
+impl SimScratch {
+    fn new() -> Self {
+        SimScratch {
+            queue: EventQueue::new(),
+            instances: Vec::new(),
+            fifo: VecDeque::new(),
+            idle: Vec::new(),
+            per_variant: Vec::new(),
+            hist: LatencyHistogram::for_latency(),
+        }
+    }
+
+    /// Readies the scratch for a fresh window: everything emptied, all
+    /// buffers retained.
+    fn reset(&mut self, n_variants: usize) {
+        self.queue.reset();
+        self.instances.clear();
+        self.fifo.clear();
+        self.idle.clear();
+        self.per_variant.clear();
+        self.per_variant.resize(n_variants, 0);
+        self.hist.clear();
+    }
+}
+
 /// Discrete-event simulator for one deployment of one application.
 pub struct ServingSim {
-    family: ModelFamily,
+    family: Arc<ModelFamily>,
     perf: PerfModel,
     deployment: Deployment,
     rng: SimRng,
+    scratch: SimScratch,
 }
 
 impl ServingSim {
     /// Creates a simulator. `seed` fixes the arrival and jitter streams.
-    pub fn new(family: ModelFamily, perf: PerfModel, deployment: Deployment, seed: u64) -> Self {
+    /// The family is shared (`Arc`), so passing `Arc<ModelFamily>` makes
+    /// construction allocation-free; a plain `ModelFamily` still works.
+    pub fn new(
+        family: impl Into<Arc<ModelFamily>>,
+        perf: PerfModel,
+        deployment: Deployment,
+        seed: u64,
+    ) -> Self {
         ServingSim {
-            family,
+            family: family.into(),
             perf,
             deployment,
             rng: SimRng::new(seed),
+            scratch: SimScratch::new(),
         }
     }
 
@@ -179,10 +234,24 @@ impl ServingSim {
         &self.deployment
     }
 
+    /// The model family being served.
+    pub fn family(&self) -> &ModelFamily {
+        &self.family
+    }
+
     /// Replaces the deployment (reconfiguration); the caller accounts for
     /// downtime separately via [`clover_mig::ReconfigCost`].
     pub fn set_deployment(&mut self, deployment: Deployment) {
         self.deployment = deployment;
+    }
+
+    /// Restarts the RNG from `seed`, exactly as if the simulator had just
+    /// been constructed with it. Lets one simulator (and its warm
+    /// [`SimScratch`]) be reused for independently seeded windows — the
+    /// optimizer's evaluator re-seeds per candidate instead of building a
+    /// fresh simulator each time.
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = SimRng::new(seed);
     }
 
     /// Simulates an open-loop Poisson workload at `rate_rps` for
@@ -218,10 +287,13 @@ impl ServingSim {
         let m = instances_spec.len();
         assert!(m > 0, "deployment with no instances");
 
-        // Precompute per-instance physics.
-        let mut instances: Vec<Instance> = instances_spec
-            .iter()
-            .map(|&(v, slice)| {
+        let scratch = &mut self.scratch;
+        scratch.reset(self.family.len());
+
+        // Precompute per-instance physics into the reusable table.
+        scratch
+            .instances
+            .extend(instances_spec.iter().map(|&(v, slice)| {
                 let variant = self.family.variant(v);
                 let mean = self.perf.service_time(variant, slice).as_secs();
                 Instance {
@@ -233,27 +305,29 @@ impl ServingSim {
                     pending_interval: None,
                     busy_in_span_s: 0.0,
                 }
-            })
-            .collect();
+            }));
 
         let warmup_end = SimTime::ZERO + warmup;
         let horizon = warmup_end + window;
         let span_s = window.as_secs();
 
-        let mut q: EventQueue<Ev> = EventQueue::new();
-        let mut fifo: VecDeque<SimTime> = VecDeque::new();
+        let q = &mut scratch.queue;
+        let fifo = &mut scratch.fifo;
+        let instances = &mut scratch.instances;
+        let per_variant = &mut scratch.per_variant;
+        let hist = &mut scratch.hist;
         // Idle instances. The consumer has no placement preference (paper
         // Sec. 4.3: instances notify the consumer when free; an arriving
         // request finding several idle instances is dispatched uniformly at
         // random). Under load, dispatch is completion-driven regardless.
-        let mut idle: Vec<u32> = (0..m as u32).collect();
+        let idle = &mut scratch.idle;
+        idle.extend(0..m as u32);
 
-        let mut hist = LatencyHistogram::for_latency();
         let mut arrived = 0u64;
         let mut served = 0u64;
         let mut completed_in_span = 0u64;
         let mut dropped = 0u64;
-        let mut per_variant = vec![0u64; self.family.len()];
+        let mut sim_events = 0u64;
         let mut dynamic_j = 0.0f64;
         let jitter_sigma = SERVICE_JITTER_SIGMA;
 
@@ -262,6 +336,7 @@ impl ServingSim {
         }
 
         while let Some((now, ev)) = q.pop() {
+            sim_events += 1;
             match ev {
                 Ev::Arrive => {
                     if now <= horizon {
@@ -283,7 +358,7 @@ impl ServingSim {
                             now,
                             jitter_sigma,
                             &mut service_rng,
-                            &mut q,
+                            q,
                         );
                     } else if fifo.len() < MAX_QUEUE {
                         fifo.push_back(now);
@@ -316,7 +391,7 @@ impl ServingSim {
                             next_arrival,
                             jitter_sigma,
                             &mut service_rng,
-                            &mut q,
+                            q,
                         );
                     } else {
                         idle.push(instance);
@@ -330,7 +405,7 @@ impl ServingSim {
         // below; we recompute energy from busy_in_span_s accumulated there.
         let mut idle_j = 0.0;
         let mut busy_integral = 0.0;
-        for inst in &instances {
+        for inst in instances.iter() {
             dynamic_j += inst.busy_w * inst.busy_in_span_s;
             idle_j += inst.idle_w * (span_s - inst.busy_in_span_s).max(0.0);
             busy_integral += inst.busy_in_span_s;
@@ -345,14 +420,15 @@ impl ServingSim {
             completed_in_span,
             dropped,
             mean_latency_s: hist.mean(),
-            p95_latency_s: hist.quantile(0.95).unwrap_or(0.0),
+            p95_latency_s: hist.quantile(0.95),
             max_latency_s: hist.max(),
-            per_variant_served: per_variant,
+            sim_events,
+            per_variant_served: per_variant.clone(),
             dynamic_energy_j: dynamic_j,
             idle_energy_j: idle_j,
             static_energy_j: static_j,
             mean_busy_instances: busy_integral / span_s,
-            latency_hist: hist,
+            latency_hist: hist.clone(),
         }
     }
 
@@ -455,11 +531,8 @@ mod tests {
         // 95% utilization: latency well above bare service time.
         let (w, _) = quick_window(d, cap * 0.95, 120.0, 3);
         let service = 1.0 / (cap / 2.0);
-        assert!(
-            w.p95_latency_s > service * 1.5,
-            "p95 {} vs service {service}",
-            w.p95_latency_s
-        );
+        let p95 = w.p95_latency_s.expect("served");
+        assert!(p95 > service * 1.5, "p95 {p95} vs service {service}");
     }
 
     #[test]
@@ -476,7 +549,7 @@ mod tests {
         );
         // Throughput pinned at capacity, latency far above service time.
         assert!(w.throughput_rps() < cap * 1.1);
-        assert!(w.p95_latency_s > 1.0 / cap * 5.0);
+        assert!(w.p95_latency_s.expect("served") > 1.0 / cap * 5.0);
     }
 
     #[test]
@@ -597,6 +670,55 @@ mod tests {
         assert_eq!(w.arrived, 40);
         assert_eq!(w.served, 40);
         assert_eq!(w.dropped, 0);
+    }
+
+    #[test]
+    fn reseeded_reused_sim_matches_fresh_sim() {
+        // One simulator reused across differently seeded windows (warm
+        // scratch) must reproduce a cold simulator bit for bit — the
+        // property that lets the evaluator keep a single sim instance.
+        let fam = std::sync::Arc::new(efficientnet());
+        let d = Deployment::base(&fam, 2);
+        let window = SimDuration::from_secs(20.0);
+        let warmup = SimDuration::from_secs(2.0);
+        let mut reused = ServingSim::new(fam.clone(), PerfModel::a100(), d.clone(), 1);
+        reused.run_window(
+            80.0,
+            SimDuration::from_secs(10.0),
+            SimDuration::from_secs(1.0),
+        );
+        reused.reseed(42);
+        let a = reused.run_window(100.0, window, warmup);
+        let mut fresh = ServingSim::new(fam, PerfModel::a100(), d, 42);
+        let b = fresh.run_window(100.0, window, warmup);
+        assert_eq!(a.arrived, b.arrived);
+        assert_eq!(a.served, b.served);
+        assert_eq!(a.p95_latency_s, b.p95_latency_s);
+        assert_eq!(a.dynamic_energy_j, b.dynamic_energy_j);
+        assert_eq!(a.per_variant_served, b.per_variant_served);
+        assert_eq!(a.sim_events, b.sim_events);
+        assert!(a.sim_events > 0);
+    }
+
+    #[test]
+    fn silent_window_has_no_p95() {
+        use clover_workload::{ArrivalTrace, TraceReplayProcess};
+        let fam = efficientnet();
+        let d = Deployment::base(&fam, 1);
+        let mut sim = ServingSim::new(fam, PerfModel::a100(), d, 3);
+        // The only arrival lies far past the horizon: nothing is served.
+        let trace = ArrivalTrace::new(vec![500.0], 600.0);
+        let mut p = TraceReplayProcess::new(trace, SimTime::ZERO, false);
+        let w = sim.run_window_with(
+            &mut p,
+            SimDuration::from_secs(20.0),
+            SimDuration::from_secs(2.0),
+        );
+        assert_eq!(w.served, 0);
+        assert_eq!(
+            w.p95_latency_s, None,
+            "a zero-served window must not report a tail latency"
+        );
     }
 
     #[test]

@@ -117,6 +117,15 @@ impl<E> EventQueue<E> {
     pub fn clear(&mut self) {
         self.heap.clear();
     }
+
+    /// Returns the queue to its initial state (clock at zero, no events)
+    /// while keeping the heap's allocation, so one queue can be reused
+    /// across many simulation windows without reallocating.
+    pub fn reset(&mut self) {
+        self.heap.clear();
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+    }
 }
 
 #[cfg(test)]
@@ -171,6 +180,18 @@ mod tests {
         q.schedule(SimTime::from_secs(2.0), ());
         q.pop();
         q.schedule(SimTime::from_secs(1.0), ());
+    }
+
+    #[test]
+    fn reset_allows_reuse_from_time_zero() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(5.0), 1);
+        q.pop();
+        q.reset();
+        assert_eq!(q.now(), SimTime::ZERO);
+        // Scheduling before the old clock is legal again after reset.
+        q.schedule(SimTime::from_secs(1.0), 2);
+        assert_eq!(q.pop(), Some((SimTime::from_secs(1.0), 2)));
     }
 
     #[test]

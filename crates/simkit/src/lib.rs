@@ -11,7 +11,10 @@
 //! reproducible, and the streaming statistics (Welford accumulators, P²
 //! quantile estimation, latency histograms) needed to report p95 tail
 //! latency and energy integrals over tens of millions of requests without
-//! storing them.
+//! storing them. The [`par`] module adds a std-only scoped thread pool with
+//! an order-preserving `par_map`, the engine behind deterministic parallel
+//! experiment grids (each cell owns its seed, so parallel output is
+//! byte-identical to serial).
 //!
 //! Nothing in this crate knows about GPUs, carbon, or ML models; it is a
 //! general-purpose DES toolkit.
@@ -20,6 +23,7 @@
 
 pub mod engine;
 pub mod events;
+pub mod par;
 pub mod quantile;
 pub mod rng;
 pub mod stats;
@@ -27,6 +31,7 @@ pub mod time;
 
 pub use engine::{Process, Simulation};
 pub use events::EventQueue;
+pub use par::{default_threads, par_map, par_map_auto};
 pub use quantile::{ExactQuantiles, LatencyHistogram, P2Quantile};
 pub use rng::SimRng;
 pub use stats::{Running, TimeWeighted};
