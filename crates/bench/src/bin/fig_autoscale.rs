@@ -1,0 +1,97 @@
+//! Autoscaling study (beyond the paper): operational carbon and SLA
+//! attainment of the three fleet policies — the paper's static fleet, a
+//! reactive scaler, and the forecast-driven scaler — across the bursty
+//! workload scenarios, with CLOVER doing the partitioning in every cell.
+//!
+//! Claims to reproduce/establish: under a predictable diurnal swing the
+//! forecast policy powers GPUs down through the trough and cuts total
+//! operational carbon versus the static fleet at equal SLA attainment;
+//! under MMPP (whose forecast is flat) and sub-hour flash crowds the
+//! policies converge, because hourly scaling epochs cannot track bursts —
+//! the honest negative result that motivates burst-aware optimization.
+
+use clover_bench::{bench_threads, header, scaled_horizon};
+use clover_core::autoscale::ScalingPolicy;
+use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+use clover_workload::WorkloadKind;
+
+fn policies() -> [ScalingPolicy; 3] {
+    [
+        ScalingPolicy::Static,
+        ScalingPolicy::reactive(),
+        ScalingPolicy::forecast(),
+    ]
+}
+
+fn kinds() -> [WorkloadKind; 3] {
+    [
+        WorkloadKind::diurnal(),
+        WorkloadKind::flash_crowd(),
+        WorkloadKind::mmpp(),
+    ]
+}
+
+fn cell(kind: WorkloadKind, policy: ScalingPolicy) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::Clover)
+        .workload(kind)
+        .scaling(policy)
+        .n_gpus(8)
+        .min_gpus(2)
+        .horizon_hours(scaled_horizon().max(24.0))
+        // Leave diurnal-peak headroom on the fleet (peak = 1.6× the mean
+        // rate) and on the SLA, so the policies are compared at equal,
+        // attainable service goals rather than all violating at the peak.
+        .utilization(0.5)
+        .sla_headroom(1.6)
+        .seed(2023)
+        .build()
+}
+
+fn main() {
+    header(
+        "Fig. A1 (beyond the paper)",
+        "elastic GPU fleet: scaling policy x workload, CLOVER partitioning",
+    );
+    let configs: Vec<ExperimentConfig> = kinds()
+        .into_iter()
+        .flat_map(|kind| policies().into_iter().map(move |p| cell(kind.clone(), p)))
+        .collect();
+    let outs = Experiment::run_cells(configs, bench_threads());
+
+    println!(
+        "{:<12} {:<10} {:>12} {:>14} {:>12} {:>10} {:>6}",
+        "workload", "policy", "carbon_kg", "vs static %", "mean_gpus", "p95/sla", "sla"
+    );
+    for row in outs.chunks(policies().len()) {
+        let static_carbon = row[0].total_carbon_g;
+        for out in row {
+            let vs_static = (out.total_carbon_g - static_carbon) / static_carbon * 100.0;
+            println!(
+                "{:<12} {:<10} {:>12.2} {:>+14.1} {:>12.2} {:>10.2} {:>6}",
+                out.workload,
+                out.scaling,
+                out.total_carbon_g / 1000.0,
+                vs_static,
+                out.mean_active_gpus,
+                out.p95_s / out.sla_p95_s,
+                if out.sla_met { "ok" } else { "VIOL" }
+            );
+        }
+        println!();
+    }
+
+    // The acceptance check this figure exists for, stated in its output.
+    let diurnal: Vec<&ExperimentOutcome> = outs[..policies().len()].iter().collect();
+    let (stat, fore) = (diurnal[0], diurnal[2]);
+    let saved = (stat.total_carbon_g - fore.total_carbon_g) / stat.total_carbon_g * 100.0;
+    println!(
+        "diurnal: forecast scaling saves {saved:.1}% operational carbon vs the static fleet \
+         (SLA {} vs {})",
+        if fore.sla_met { "met" } else { "VIOLATED" },
+        if stat.sla_met { "met" } else { "VIOLATED" },
+    );
+    println!("(mmpp/flash-crowd: hourly epochs cannot track sub-hour bursts; policies converge)");
+}

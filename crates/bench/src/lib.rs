@@ -1,8 +1,19 @@
 //! # clover-bench
 //!
-//! Shared helpers for the benchmark harness binaries (one per table/figure
-//! of the paper) and the criterion micro-benchmarks. See `src/bin/` for the
-//! per-figure targets and `benches/` for the hot-path benchmarks.
+//! The evaluation harness: one binary per table/figure of the paper under
+//! `src/bin/` (`fig01`–`fig16`, `table1`, `ablation_ged`, plus the
+//! beyond-the-paper `fig_autoscale` elastic-fleet study and the
+//! `perf_report` engine gate), criterion micro-benchmarks of the hot paths
+//! under `benches/`, and this library of shared scaffolding ([`harness`]):
+//! figure headers/rows, the standard Sec. 5.1 experiment configuration,
+//! and parallel grid fan-out (`run_cells`/`run_grid`).
+//!
+//! Environment knobs honored by the binaries:
+//!
+//! - `CLOVER_BENCH_SCALE` (default 1.0) scales the simulated horizon so
+//!   smoke runs finish quickly;
+//! - `CLOVER_THREADS` pins the experiment-grid worker pool (results are
+//!   byte-identical at any thread count).
 
 #![warn(missing_docs)]
 

@@ -1,7 +1,7 @@
 //! The Clover controller's carbon-intensity monitor.
 //!
-//! The paper (Sec. 4.3, Fig. 5): the controller "monitor[s] the real-time
-//! carbon intensity from the local grid and initiat[es] its optimization
+//! The paper (Sec. 4.3, Fig. 5): the controller "monitor\[s\] the real-time
+//! carbon intensity from the local grid and initiat\[es\] its optimization
 //! process as a reaction to changes in carbon intensity", re-invoking
 //! optimization "whenever Clover detects more than a 5% change in the carbon
 //! intensity compared to the previous optimization run" (Sec. 5.2.2).

@@ -1,0 +1,489 @@
+//! Forecast-driven autoscaling: powering GPUs on and off ahead of demand.
+//!
+//! The paper's schemes repartition a *fixed* GPU fleet; the carbon they
+//! cannot touch is the static and idle draw of capacity that nothing needs.
+//! This module adds the elastic dimension: each decision epoch (the
+//! experiment's hourly control step), a [`Scaler`] consults the workload's
+//! [`DemandForecast`] and chooses how many
+//! of the provisioned GPUs should be *active* — serving instances — with
+//! the rest either *warming* (powered, loading models, joining after a
+//! provisioning lag) or *off* (drawing only standby watts).
+//!
+//! Three policies are compared ([`ScalingPolicy`]):
+//!
+//! - **Static** — the paper's setup: the whole fleet stays powered.
+//! - **Reactive** — sizes against the *current* demand estimate
+//!   (`rate_at(now)`); cheap, but a provisioning delay means it chases
+//!   ramps from behind.
+//! - **Forecast** — sizes against the forecast mean over a look-ahead
+//!   horizon (`windowed_mean(now, lookahead)`), so capacity for a diurnal
+//!   ramp is powering up *before* the traffic arrives.
+//!
+//! The scaler is deliberately free of randomness: decisions are pure
+//! arithmetic over the forecast, so autoscaled experiments stay
+//! byte-identical between serial and parallel grid runs (pinned by
+//! `tests/autoscale.rs`).
+
+use clover_simkit::{SimDuration, SimTime};
+use clover_workload::DemandForecast;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How the active GPU count is chosen each decision epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ScalingPolicy {
+    /// No elasticity: the full provisioned fleet stays powered (the
+    /// paper's evaluation setup, and the default).
+    Static,
+    /// Size against the current demand estimate, with hysteresis: scale up
+    /// when fleet utilization exceeds `up_threshold`, down when it falls
+    /// below `down_threshold`.
+    Reactive {
+        /// Utilization above which the fleet grows (e.g. 0.80).
+        up_threshold: f64,
+        /// Utilization below which the fleet shrinks (e.g. 0.40).
+        down_threshold: f64,
+    },
+    /// Size against the forecast windowed mean over a look-ahead horizon,
+    /// powering capacity up *ahead* of predicted ramps (uses the default
+    /// hysteresis thresholds).
+    Forecast {
+        /// Forecast window queried each epoch, hours.
+        lookahead_hours: f64,
+    },
+}
+
+impl ScalingPolicy {
+    /// Default scale-up utilization threshold.
+    pub const DEFAULT_UP: f64 = 0.80;
+    /// Default scale-down utilization threshold.
+    pub const DEFAULT_DOWN: f64 = 0.40;
+    /// Default forecast look-ahead, hours.
+    pub const DEFAULT_LOOKAHEAD_HOURS: f64 = 2.0;
+
+    /// Reactive policy with the default hysteresis thresholds.
+    pub fn reactive() -> Self {
+        ScalingPolicy::Reactive {
+            up_threshold: Self::DEFAULT_UP,
+            down_threshold: Self::DEFAULT_DOWN,
+        }
+    }
+
+    /// Forecast policy with the default look-ahead.
+    pub fn forecast() -> Self {
+        ScalingPolicy::Forecast {
+            lookahead_hours: Self::DEFAULT_LOOKAHEAD_HOURS,
+        }
+    }
+
+    /// Short display label (figure legends, CSV columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            ScalingPolicy::Static => "static",
+            ScalingPolicy::Reactive { .. } => "reactive",
+            ScalingPolicy::Forecast { .. } => "forecast",
+        }
+    }
+
+    /// The hysteresis band this policy scales within.
+    fn thresholds(&self) -> (f64, f64) {
+        match *self {
+            ScalingPolicy::Reactive {
+                up_threshold,
+                down_threshold,
+            } => (up_threshold, down_threshold),
+            _ => (Self::DEFAULT_UP, Self::DEFAULT_DOWN),
+        }
+    }
+}
+
+impl Default for ScalingPolicy {
+    /// The paper's fixed-fleet setup.
+    fn default() -> Self {
+        ScalingPolicy::Static
+    }
+}
+
+impl fmt::Display for ScalingPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Everything a [`Scaler`] needs to size a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalerConfig {
+    /// The scaling policy.
+    pub policy: ScalingPolicy,
+    /// Active GPUs never drop below this.
+    pub min_gpus: usize,
+    /// Provisioned fleet size; active + warming GPUs never exceed it.
+    pub max_gpus: usize,
+    /// Serving capacity one fleet GPU contributes, req/s (derived from the
+    /// BASE deployment in the experiment runtime).
+    pub capacity_per_gpu_rps: f64,
+    /// Utilization the fleet is resized *toward* when it scales (the
+    /// experiment's BASE utilization target).
+    pub target_utilization: f64,
+    /// Epochs to wait after a scaling action before acting again.
+    pub cooldown_epochs: u32,
+    /// Epochs a newly powered GPU spends warming (repartitioning, loading
+    /// models) before it joins the active fleet. It draws full static
+    /// power while warming.
+    pub provision_delay_epochs: u32,
+}
+
+impl ScalerConfig {
+    /// A config with the default cooldown (1 epoch), provisioning delay
+    /// (1 epoch) and target utilization (0.65).
+    pub fn new(
+        policy: ScalingPolicy,
+        min_gpus: usize,
+        max_gpus: usize,
+        capacity_per_gpu_rps: f64,
+    ) -> Self {
+        assert!(
+            min_gpus >= 1 && min_gpus <= max_gpus,
+            "scaler bounds invalid: min_gpus {min_gpus}, max_gpus {max_gpus}"
+        );
+        assert!(
+            capacity_per_gpu_rps.is_finite() && capacity_per_gpu_rps > 0.0,
+            "non-positive per-GPU capacity"
+        );
+        ScalerConfig {
+            policy,
+            min_gpus,
+            max_gpus,
+            capacity_per_gpu_rps,
+            target_utilization: 0.65,
+            cooldown_epochs: 1,
+            provision_delay_epochs: 1,
+        }
+    }
+}
+
+/// The fleet partition a scaling decision produces; counts always sum to
+/// the provisioned `max_gpus`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetState {
+    /// GPUs serving the deployment this epoch.
+    pub active: usize,
+    /// GPUs powered and warming up (full static draw, no instances yet).
+    pub warming: usize,
+    /// GPUs powered off (standby draw only).
+    pub off: usize,
+}
+
+impl FleetState {
+    /// GPUs drawing wall power (active plus warming).
+    pub fn powered(&self) -> usize {
+        self.active + self.warming
+    }
+}
+
+/// The per-experiment autoscaler: hysteresis, cooldown and provisioning
+/// delay around a demand-driven sizing rule.
+///
+/// Call [`Scaler::step`] once per decision epoch, in epoch order; the
+/// returned [`FleetState`] says how many GPUs serve, warm up, and sleep.
+///
+/// # Examples
+///
+/// Under a diurnal workload the forecast policy powers part of the fleet
+/// down through the overnight trough and has it back before the peak:
+///
+/// ```
+/// use clover_core::autoscale::{FleetState, Scaler, ScalerConfig, ScalingPolicy};
+/// use clover_simkit::SimTime;
+/// use clover_workload::{Workload, WorkloadKind};
+///
+/// // 4 GPUs of 40 req/s each; demand swings ±60% around 80 req/s daily.
+/// let workload = Workload::new(WorkloadKind::diurnal(), 80.0);
+/// let cfg = ScalerConfig::new(ScalingPolicy::forecast(), 1, 4, 40.0);
+/// let mut scaler = Scaler::new(cfg);
+///
+/// let fleet: Vec<FleetState> = (0..24)
+///     .map(|h| scaler.step(SimTime::from_hours(h as f64), &workload.forecast()))
+///     .collect();
+///
+/// let min_active = fleet.iter().map(|f| f.active).min().unwrap();
+/// let max_active = fleet.iter().map(|f| f.active).max().unwrap();
+/// assert!(min_active <= 2, "trough should power GPUs down");
+/// assert_eq!(max_active, 4, "peak should restore the full fleet");
+/// // The partition always accounts for every provisioned GPU.
+/// assert!(fleet.iter().all(|f| f.active + f.warming + f.off == 4));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Scaler {
+    cfg: ScalerConfig,
+    /// GPUs currently serving.
+    active: usize,
+    /// Batches of powered-but-warming GPUs: `(ready_epoch, count)`.
+    warming: Vec<(u64, usize)>,
+    /// No scaling action before this epoch.
+    cooldown_until: u64,
+    /// Next epoch index `step` will process.
+    epoch: u64,
+}
+
+impl Scaler {
+    /// Creates a scaler with the whole fleet initially active (experiments
+    /// start fully provisioned, exactly like the paper's fixed fleet).
+    pub fn new(cfg: ScalerConfig) -> Self {
+        Scaler {
+            active: cfg.max_gpus,
+            warming: Vec::new(),
+            cooldown_until: 0,
+            epoch: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &ScalerConfig {
+        &self.cfg
+    }
+
+    /// Advances one decision epoch at global time `now` and returns the
+    /// fleet partition to run with. Deterministic: no randomness is
+    /// consumed, so scaled experiments parallelize byte-identically.
+    pub fn step(&mut self, now: SimTime, forecast: &DemandForecast<'_>) -> FleetState {
+        let epoch = self.epoch;
+        self.epoch += 1;
+
+        if self.cfg.policy == ScalingPolicy::Static {
+            return self.state();
+        }
+
+        // Promote batches whose warm-up lag has elapsed.
+        let mut ready = 0usize;
+        self.warming.retain(|&(at, n)| {
+            if at <= epoch {
+                ready += n;
+                false
+            } else {
+                true
+            }
+        });
+        self.active = (self.active + ready).min(self.cfg.max_gpus);
+
+        let demand = match self.cfg.policy {
+            ScalingPolicy::Static => unreachable!("handled above"),
+            ScalingPolicy::Reactive { .. } => forecast.rate_at(now),
+            ScalingPolicy::Forecast { lookahead_hours } => {
+                forecast.windowed_mean(now, SimDuration::from_hours(lookahead_hours))
+            }
+        };
+        let (up, down) = self.cfg.policy.thresholds();
+        let cap = self.cfg.capacity_per_gpu_rps;
+
+        if epoch >= self.cooldown_until {
+            let powered = self.active + self.pending();
+            let util_powered = demand / (powered as f64 * cap);
+            let util_active = demand / (self.active as f64 * cap);
+            if util_powered > up && powered < self.cfg.max_gpus {
+                // Grow toward the target utilization; the new GPUs draw
+                // power now but serve only after the provisioning delay.
+                let add = self.desired(demand).saturating_sub(powered);
+                if add > 0 {
+                    if self.cfg.provision_delay_epochs == 0 {
+                        self.active += add;
+                    } else {
+                        self.warming
+                            .push((epoch + u64::from(self.cfg.provision_delay_epochs), add));
+                    }
+                    self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
+                }
+            } else if util_active < down && self.active > self.cfg.min_gpus && self.pending() == 0 {
+                // Shrink toward the target utilization: the retired GPUs'
+                // instances drain and the boards power down to standby.
+                let desired = self.desired(demand);
+                if desired < self.active {
+                    self.active = desired;
+                    self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
+                }
+            }
+        }
+
+        self.state()
+    }
+
+    /// GPU count that would serve `demand` at the target utilization,
+    /// clamped to the configured bounds.
+    fn desired(&self, demand_rps: f64) -> usize {
+        let ideal = demand_rps / (self.cfg.capacity_per_gpu_rps * self.cfg.target_utilization);
+        (ideal.ceil() as usize).clamp(self.cfg.min_gpus, self.cfg.max_gpus)
+    }
+
+    fn pending(&self) -> usize {
+        self.warming.iter().map(|&(_, n)| n).sum()
+    }
+
+    fn state(&self) -> FleetState {
+        let warming = self.pending();
+        FleetState {
+            active: self.active,
+            warming,
+            off: self.cfg.max_gpus - self.active - warming,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_workload::{Workload, WorkloadKind};
+
+    /// 4 GPUs × 50 req/s each, demand described by `kind` around 100 req/s.
+    fn scaler_over(kind: WorkloadKind, policy: ScalingPolicy) -> (Scaler, Workload) {
+        let workload = Workload::new(kind, 100.0);
+        (Scaler::new(ScalerConfig::new(policy, 1, 4, 50.0)), workload)
+    }
+
+    fn run_day(scaler: &mut Scaler, workload: &Workload) -> Vec<FleetState> {
+        (0..24)
+            .map(|h| scaler.step(SimTime::from_hours(f64::from(h)), &workload.forecast()))
+            .collect()
+    }
+
+    #[test]
+    fn static_policy_never_moves() {
+        let (mut scaler, workload) = scaler_over(WorkloadKind::diurnal(), ScalingPolicy::Static);
+        for fleet in run_day(&mut scaler, &workload) {
+            assert_eq!(
+                fleet,
+                FleetState {
+                    active: 4,
+                    warming: 0,
+                    off: 0
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn steady_demand_inside_the_band_never_scales() {
+        // Poisson at 100 req/s on 4×50 req/s: utilization 0.5, inside
+        // (0.40, 0.80) — hysteresis holds the fleet still.
+        let (mut scaler, workload) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::reactive());
+        for fleet in run_day(&mut scaler, &workload) {
+            assert_eq!(fleet.active, 4);
+            assert_eq!(fleet.off, 0);
+        }
+    }
+
+    #[test]
+    fn diurnal_trough_powers_down_and_peak_restores() {
+        for policy in [ScalingPolicy::reactive(), ScalingPolicy::forecast()] {
+            let (mut scaler, workload) = scaler_over(WorkloadKind::diurnal(), policy);
+            let fleet = run_day(&mut scaler, &workload);
+            let min = fleet.iter().map(|f| f.active).min().unwrap();
+            let max = fleet.iter().map(|f| f.active).max().unwrap();
+            assert!(min <= 2, "{}: trough kept {min} GPUs", policy.label());
+            assert_eq!(max, 4, "{}: peak never restored", policy.label());
+            for f in &fleet {
+                assert_eq!(f.active + f.warming + f.off, 4, "{}", policy.label());
+            }
+        }
+    }
+
+    #[test]
+    fn forecast_powers_up_before_reactive_on_the_ramp() {
+        // Trough at hour 0, ramp toward the peak after: phase the sinusoid
+        // so the scalers start scaled down and must re-grow.
+        let kind = WorkloadKind::Diurnal {
+            amplitude_frac: 0.6,
+            period_hours: 24.0,
+            phase_hours: 18.0, // sin(2π(t+18)/24) = -1 at t = 0
+        };
+        let first_full = |policy: ScalingPolicy| {
+            let (mut scaler, workload) = scaler_over(kind.clone(), policy);
+            run_day(&mut scaler, &workload)
+                .iter()
+                .position(|f| f.active == 4)
+                .expect("fleet should eventually be restored")
+        };
+        let forecast = first_full(ScalingPolicy::forecast());
+        let reactive = first_full(ScalingPolicy::reactive());
+        assert!(
+            forecast <= reactive,
+            "forecast restored at hour {forecast}, reactive at {reactive}"
+        );
+    }
+
+    #[test]
+    fn provisioning_delay_defers_the_join() {
+        let workload = Workload::poisson(200.0); // 4×50: utilization 1.0
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.provision_delay_epochs = 2;
+        let mut scaler = Scaler::new(cfg);
+        scaler.active = 2; // start scaled down, demand demands 4
+        let f0 = scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(f0.active, 2, "join before the warm-up lag");
+        assert_eq!(f0.warming, 2);
+        assert_eq!(f0.off, 0, "warming GPUs draw power immediately");
+        let f1 = scaler.step(SimTime::from_hours(1.0), &workload.forecast());
+        assert_eq!(f1.active, 2);
+        let f2 = scaler.step(SimTime::from_hours(2.0), &workload.forecast());
+        assert_eq!(f2.active, 4, "warm-up elapsed, GPUs join");
+        assert_eq!(f2.warming, 0);
+    }
+
+    #[test]
+    fn cooldown_spaces_scaling_actions() {
+        // Demand at the floor: the scaler wants min_gpus immediately, but
+        // a long cooldown forces it to hold between actions.
+        let workload = Workload::poisson(10.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.cooldown_epochs = 3;
+        let mut scaler = Scaler::new(cfg);
+        let f0 = scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(f0.active, 1, "first action scales to the floor");
+        // desired() clamps to min_gpus, so one action suffices; what the
+        // cooldown must guarantee is no further action for 3 epochs even
+        // if demand moved. Raise demand mid-cooldown: no response.
+        let surge = Workload::poisson(500.0);
+        for h in 1..=3 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &surge.forecast());
+            assert_eq!(f.active, 1, "epoch {h} acted inside the cooldown");
+            assert_eq!(f.warming, 0);
+        }
+        let f4 = scaler.step(SimTime::from_hours(4.0), &surge.forecast());
+        assert!(f4.powered() > 1, "cooldown over, surge answered");
+    }
+
+    #[test]
+    fn bounds_are_respected() {
+        let (mut scaler, quiet) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::reactive());
+        // Walk the fleet down with near-zero demand...
+        let whisper = Workload::poisson(1e-6);
+        for h in 0..6 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &whisper.forecast());
+            assert!(f.active >= 1, "fell below min_gpus");
+        }
+        drop(quiet);
+        // ...then slam it with far more than the fleet can serve.
+        let flood = Workload::poisson(1e6);
+        for h in 6..12 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &flood.forecast());
+            assert!(f.powered() <= 4, "exceeded max_gpus");
+        }
+    }
+
+    #[test]
+    fn labels_and_defaults() {
+        assert_eq!(ScalingPolicy::default(), ScalingPolicy::Static);
+        assert_eq!(ScalingPolicy::Static.label(), "static");
+        assert_eq!(ScalingPolicy::reactive().label(), "reactive");
+        assert_eq!(format!("{}", ScalingPolicy::forecast()), "forecast");
+        let cfg = ScalerConfig::new(ScalingPolicy::forecast(), 2, 8, 25.0);
+        assert_eq!(cfg.min_gpus, 2);
+        assert_eq!(Scaler::new(cfg).state().active, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "scaler bounds invalid")]
+    fn min_above_max_rejected() {
+        let _ = ScalerConfig::new(ScalingPolicy::Static, 5, 4, 50.0);
+    }
+}

@@ -82,10 +82,12 @@ impl DesEvaluator {
 
     /// Applies `deployment` without measuring (end-of-invocation switch to
     /// the chosen configuration). Returns the reconfiguration downtime.
+    /// Fleet resizes (autoscaling) are tolerated: only GPUs surviving the
+    /// resize are compared (see [`ReconfigCost::fleet_downtime`]).
     pub fn apply(&mut self, deployment: Deployment) -> SimDuration {
         let downtime = self
             .reconfig
-            .cluster_downtime(self.current.partitioning(), deployment.partitioning());
+            .fleet_downtime(self.current.partitioning(), deployment.partitioning());
         self.current = deployment;
         downtime
     }
@@ -96,7 +98,7 @@ impl DesEvaluator {
     pub fn evaluate(&mut self, candidate: &Deployment) -> EvalOutcome {
         let downtime = self
             .reconfig
-            .cluster_downtime(self.current.partitioning(), candidate.partitioning());
+            .fleet_downtime(self.current.partitioning(), candidate.partitioning());
         // Variant-only changes still reload models on affected slices.
         let variant_downtime = if downtime.is_zero() && candidate != &self.current {
             self.reconfig.variant_swap_downtime()

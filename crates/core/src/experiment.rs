@@ -25,6 +25,7 @@
 //! reference for carbon savings, accuracy loss, and normalized SLA latency.
 
 use crate::anneal::{EvalRecord, SaParams};
+use crate::autoscale::{Scaler, ScalerConfig, ScalingPolicy};
 use crate::eval::DesEvaluator;
 use crate::objective::{MeasuredPoint, Objective};
 use crate::schedulers::{make_scheduler, SchedulerCtx, SchemeKind};
@@ -65,6 +66,11 @@ pub struct ExperimentConfig {
     /// GPUs used to derive the workload rate and SLA (stays at the paper's
     /// 10 when provisioning is reduced, Fig. 15).
     pub reference_gpus: usize,
+    /// How the fleet is powered up and down each hour (default:
+    /// [`ScalingPolicy::Static`], the paper's fixed fleet).
+    pub scaling: ScalingPolicy,
+    /// The autoscaler never powers the active fleet below this.
+    pub min_gpus: usize,
     /// Simulated horizon, hours.
     pub horizon_hours: f64,
     /// Objective weight λ.
@@ -96,6 +102,8 @@ impl ExperimentConfig {
                 workload: WorkloadKind::Poisson,
                 n_gpus: 10,
                 reference_gpus: 0, // 0 = follow n_gpus
+                scaling: ScalingPolicy::Static,
+                min_gpus: 1,
                 horizon_hours: 48.0,
                 lambda: 0.5,
                 accuracy_floor_pct: None,
@@ -152,6 +160,24 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the autoscaling policy (default: the paper's static fleet).
+    pub fn scaling(mut self, policy: ScalingPolicy) -> Self {
+        self.cfg.scaling = policy;
+        self
+    }
+
+    /// Sets the floor the autoscaler may power the fleet down to.
+    pub fn min_gpus(mut self, n: usize) -> Self {
+        self.cfg.min_gpus = n;
+        self
+    }
+
+    /// Sets the SLA headroom multiplier over the measured BASE p95.
+    pub fn sla_headroom(mut self, h: f64) -> Self {
+        self.cfg.sla_headroom = h;
+        self
+    }
+
     /// Sets the horizon in hours.
     pub fn horizon_hours(mut self, h: f64) -> Self {
         self.cfg.horizon_hours = h;
@@ -195,11 +221,58 @@ impl ExperimentConfigBuilder {
     }
 
     /// Finalizes the configuration.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when the configuration is
+    /// internally inconsistent: zero GPUs or horizon, an objective weight
+    /// λ outside `(0, 1]`, a scaling floor above the fleet size, a
+    /// non-positive SLA headroom or serving window, or provisioning *more*
+    /// GPUs than the reference the workload and baseline are derived on.
+    /// (The reverse — `reference_gpus > n_gpus` — is the paper's Fig. 15
+    /// reduced-provisioning setup and stays valid.)
     pub fn build(mut self) -> ExperimentConfig {
         if self.cfg.reference_gpus == 0 {
             self.cfg.reference_gpus = self.cfg.n_gpus;
         }
-        assert!(self.cfg.n_gpus > 0 && self.cfg.horizon_hours > 0.0);
+        let cfg = &self.cfg;
+        assert!(cfg.n_gpus > 0, "experiment config: n_gpus must be positive");
+        assert!(
+            cfg.horizon_hours > 0.0,
+            "experiment config: horizon_hours must be positive, got {}",
+            cfg.horizon_hours
+        );
+        assert!(
+            cfg.n_gpus <= cfg.reference_gpus,
+            "experiment config: n_gpus ({}) exceeds reference_gpus ({}); the workload rate, SLA \
+             and synchronized BASE baseline are all derived on the reference fleet, so \
+             provisioning beyond it makes every relative metric meaningless (Fig. 15 shrinks \
+             n_gpus below the reference, never the reverse)",
+            cfg.n_gpus,
+            cfg.reference_gpus
+        );
+        assert!(
+            cfg.lambda.is_finite() && cfg.lambda > 0.0 && cfg.lambda <= 1.0,
+            "experiment config: objective weight lambda must lie in (0, 1], got {} (lambda = 0 \
+             would ignore carbon entirely and break the Eq. 3 trade-off the schemes optimize)",
+            cfg.lambda
+        );
+        assert!(
+            (1..=cfg.n_gpus).contains(&cfg.min_gpus),
+            "experiment config: min_gpus ({}) must lie in [1, n_gpus = {}]",
+            cfg.min_gpus,
+            cfg.n_gpus
+        );
+        assert!(
+            cfg.sim_window_s > 0.0,
+            "experiment config: sim_window_s must be positive, got {}",
+            cfg.sim_window_s
+        );
+        assert!(
+            cfg.sla_headroom >= 1.0,
+            "experiment config: sla_headroom below 1 ({}) would demand a tighter tail than the \
+             BASE reference itself measured",
+            cfg.sla_headroom
+        );
         self.cfg
     }
 }
@@ -209,6 +282,9 @@ impl ExperimentConfigBuilder {
 pub struct HourPoint {
     /// Hour index from the start of the trace.
     pub hour: u32,
+    /// GPUs actively serving this hour (equals the provisioned count
+    /// without autoscaling).
+    pub active_gpus: u32,
     /// Carbon intensity during the hour, gCO₂/kWh.
     pub ci_g_per_kwh: f64,
     /// The objective `f` of the active configuration at this intensity.
@@ -245,8 +321,13 @@ pub struct ExperimentOutcome {
     pub trace: String,
     /// Workload (traffic scenario) label.
     pub workload: String,
+    /// Autoscaling policy label.
+    pub scaling: String,
     /// Provisioned GPUs.
     pub n_gpus: usize,
+    /// Time-averaged actively serving GPUs over the horizon (equals
+    /// `n_gpus` without autoscaling).
+    pub mean_active_gpus: f64,
     /// λ used.
     pub lambda: f64,
     /// Horizon, hours.
@@ -328,11 +409,13 @@ impl ExperimentOutcome {
             eat(v.to_bits());
         }
         eat(self.n_gpus as u64);
+        eat(self.mean_active_gpus.to_bits());
         eat(self.sim_events);
         eat(self.invocations.len() as u64);
         eat(self.evals_total() as u64);
         for p in &self.timeline {
             eat(u64::from(p.hour));
+            eat(u64::from(p.active_gpus));
             eat(p.ci_g_per_kwh.to_bits());
             eat(p.objective_f.to_bits());
             eat(p.accuracy_pct.to_bits());
@@ -392,6 +475,9 @@ pub struct Experiment {
     trace: Arc<CarbonTrace>,
     /// Offered base (long-run mean) rate, req/s.
     pub rate_rps: f64,
+    /// Serving capacity one BASE-deployment GPU contributes, req/s — the
+    /// unit the autoscaler sizes fleets in.
+    pub capacity_per_gpu_rps: f64,
     /// The traffic scenario bound to the derived base rate.
     pub workload: Workload,
     /// The derived objective (λ, C_base, A_base, SLA).
@@ -416,6 +502,7 @@ impl Experiment {
         // Workload: BASE on the reference GPUs at the utilization target.
         let base_ref = Deployment::base(&family, cfg.reference_gpus);
         let capacity = analytic::estimate(family.as_ref(), &perf, &base_ref, 1.0).capacity_rps;
+        let capacity_per_gpu_rps = capacity / cfg.reference_gpus as f64;
         let rate_rps = capacity * cfg.utilization_target;
         let workload = Workload::new(cfg.workload.clone(), rate_rps);
 
@@ -446,6 +533,7 @@ impl Experiment {
             perf,
             trace,
             rate_rps,
+            capacity_per_gpu_rps,
             workload,
             objective,
             base_energy_per_request_j: base_energy,
@@ -537,12 +625,31 @@ impl Experiment {
         // carbon-intensity drift (Sec. 4.2's re-invocation triggers).
         let mut sla_violated_last_hour = false;
 
+        // The elastic fleet: one scaler decision per hourly epoch. Under
+        // the default Static policy this collapses to the paper's fixed
+        // fleet (all GPUs active, zero standby charge, identical numbers).
+        let mut scaler_cfg = ScalerConfig::new(
+            cfg.scaling,
+            cfg.min_gpus,
+            cfg.n_gpus,
+            self.capacity_per_gpu_rps,
+        );
+        scaler_cfg.target_utilization = cfg.utilization_target;
+        let mut scaler = Scaler::new(scaler_cfg);
+        let mut active_gpus = cfg.n_gpus;
+        let mut active_gpu_hours = 0.0f64;
+
         for hour in 0..hours {
             let t = SimTime::from_hours(hour as f64);
             let event = monitor.observe(t);
             let ci = event.current;
 
-            if hour == 0 || event.triggered || sla_violated_last_hour {
+            let fleet = scaler.step(t, &self.workload.forecast());
+            let fleet_changed = fleet.active != active_gpus;
+            active_gpus = fleet.active;
+            active_gpu_hours += fleet.active as f64;
+
+            if hour == 0 || event.triggered || sla_violated_last_hour || fleet_changed {
                 // Candidates are evaluated at the demand the workload
                 // forecasts for this hour (the constant offered rate under
                 // the paper's Poisson workload; floored above zero so the
@@ -555,6 +662,7 @@ impl Experiment {
                     objective: &self.objective,
                     ci,
                     now: t,
+                    active_gpus,
                     workload: &self.workload,
                     evaluator: &mut evaluator,
                     rng: &mut rng,
@@ -601,6 +709,16 @@ impl Experiment {
                 scale,
             );
 
+            // GPUs the scaler holds out of the deployment still cost power:
+            // powered-off boards draw standby watts, warming boards pay the
+            // full static floor while they repartition and load models.
+            // (With the Static policy both counts are zero and this charge
+            // vanishes.) The serving windows above already cover the
+            // active fleet's static/idle/dynamic draw.
+            let overhead_w = fleet.off as f64 * self.perf.power.standby_gpu_w()
+                + fleet.warming as f64 * self.perf.power.gpu_static_w();
+            ledger.record_power(t, SimDuration::from_hours(1.0), overhead_w);
+
             // A silent hour has no measured tail: it must not count as an
             // SLA violation (nor spuriously pass one — `p95_latency_s` is
             // `None`, not 0.0, for zero-served windows).
@@ -629,6 +747,7 @@ impl Experiment {
             };
             timeline.push(HourPoint {
                 hour,
+                active_gpus: fleet.active as u32,
                 ci_g_per_kwh: ci.g_per_kwh(),
                 objective_f,
                 accuracy_pct: hour_acc,
@@ -692,7 +811,9 @@ impl Experiment {
                 TraceSource::Constant(v) => format!("constant {v} gCO2/kWh"),
             },
             workload: self.workload.label().to_string(),
+            scaling: cfg.scaling.label().to_string(),
             n_gpus: cfg.n_gpus,
+            mean_active_gpus: active_gpu_hours / f64::from(hours.max(1)),
             lambda: cfg.lambda,
             horizon_hours: cfg.horizon_hours,
             rate_rps: self.rate_rps,
@@ -827,5 +948,66 @@ mod tests {
         assert_eq!(a.total_carbon_g, b.total_carbon_g);
         assert_eq!(a.evals_total(), b.evals_total());
         assert_eq!(a.p95_s, b.p95_s);
+    }
+
+    #[test]
+    fn reduced_provisioning_below_the_reference_is_valid() {
+        // The paper's Fig. 15 setup: fewer GPUs than the 10-GPU reference
+        // the workload and SLA are derived on. Must keep building.
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .n_gpus(4)
+            .reference_gpus(10)
+            .build();
+        assert_eq!(cfg.n_gpus, 4);
+        assert_eq!(cfg.reference_gpus, 10);
+        // And the default reference follows n_gpus.
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .n_gpus(3)
+            .build();
+        assert_eq!(cfg.reference_gpus, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds reference_gpus")]
+    fn overprovisioning_beyond_the_reference_rejected() {
+        // n_gpus > reference_gpus would compare a big fleet against a
+        // small BASE baseline — every relative metric becomes meaningless.
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .n_gpus(10)
+            .reference_gpus(4)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must lie in (0, 1]")]
+    fn nonpositive_lambda_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .lambda(0.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda must lie in (0, 1]")]
+    fn oversized_lambda_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .lambda(1.5)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "min_gpus")]
+    fn scaling_floor_above_fleet_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .n_gpus(2)
+            .min_gpus(3)
+            .build();
+    }
+
+    #[test]
+    fn static_scaling_charges_no_standby_and_keeps_the_fleet() {
+        let out = quick(SchemeKind::Clover);
+        assert_eq!(out.scaling, "static");
+        assert_eq!(out.mean_active_gpus, 4.0);
+        assert!(out.timeline.iter().all(|h| h.active_gpus == 4));
     }
 }

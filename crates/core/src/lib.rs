@@ -7,17 +7,27 @@
 //! - [`neighbors`] — GED-bounded neighbor sampling (threshold 4).
 //! - [`objective`] — Eqs. 1–6: ΔAccuracy, ΔCarbon, the λ-weighted objective
 //!   `f`, the SLA constraint, and the SA energy `h`.
-//! - [`anneal`] — the paper's simulated-annealing loop (T₀ = 1, cooling
-//!   0.05/iteration to 0.1, 5-minute budget, 5-non-improving stop).
+//! - [`anneal`](mod@anneal) — the paper's simulated-annealing loop (T₀ = 1,
+//!   cooling 0.05/iteration to 0.1, 5-minute budget, 5-non-improving stop).
 //! - [`eval`] — live candidate evaluation on the serving simulator, with
 //!   reconfiguration downtime charged.
-//! - [`schedulers`] — BASE, CO2OPT, BLOVER, CLOVER and ORACLE.
+//! - [`schedulers`] — BASE, CO2OPT, BLOVER, CLOVER and ORACLE, each
+//!   partitioning whatever fleet the autoscaler has active.
+//! - [`autoscale`] — the elastic-fleet layer beyond the paper: a
+//!   forecast-driven [`Scaler`] that powers GPUs up and down ahead of
+//!   demand swings, with hysteresis, cooldown and provisioning delay.
 //! - [`experiment`] — the 48-hour evaluation runtime reproducing the
-//!   paper's Sec. 5 methodology, including the synchronized BASE reference.
+//!   paper's Sec. 5 methodology, including the synchronized BASE reference
+//!   and the per-hour scaling/standby carbon accounting.
+//!
+//! See `docs/architecture.md` at the workspace root for how these modules
+//! sit in the full pipeline, and `docs/parallel-engine.md` for how
+//! experiment grids fan out deterministically.
 
 #![warn(missing_docs)]
 
 pub mod anneal;
+pub mod autoscale;
 pub mod eval;
 pub mod experiment;
 pub mod graph;
@@ -26,6 +36,7 @@ pub mod objective;
 pub mod schedulers;
 
 pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams};
+pub use autoscale::{FleetState, Scaler, ScalerConfig, ScalingPolicy};
 pub use eval::DesEvaluator;
 pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, TraceSource};
 pub use graph::ConfigGraph;

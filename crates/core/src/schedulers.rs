@@ -101,6 +101,10 @@ pub struct SchedulerCtx<'a> {
     pub ci: CarbonIntensity,
     /// Global simulation time of this invocation.
     pub now: SimTime,
+    /// GPUs the autoscaler currently has powered and serving: schemes
+    /// partition *this* fleet, not the provisioned maximum (without
+    /// autoscaling the two are equal).
+    pub active_gpus: usize,
     /// The offered workload; schedulers query its demand forecast
     /// (`rate_at`, `windowed_mean`) to plan for the coming period.
     pub workload: &'a Workload,
@@ -135,20 +139,21 @@ pub fn make_scheduler(
             kind,
             deployment: Deployment::co2opt(family, n_gpus),
         }),
-        SchemeKind::Blover => Box::new(BloverScheduler { n_gpus, params: sa }),
+        SchemeKind::Blover => Box::new(BloverScheduler { params: sa }),
         SchemeKind::Clover => Box::new(CloverScheduler {
             best: Deployment::base(family, n_gpus),
             params: sa,
             sampler: NeighborSampler::default(),
         }),
         SchemeKind::Oracle => Box::new(OracleScheduler {
-            n_gpus,
-            profile: None,
+            profiles: Vec::new(),
         }),
     }
 }
 
-/// BASE / CO2OPT: a fixed deployment.
+/// BASE / CO2OPT: a fixed layout. The layout itself never changes, but the
+/// fleet it is stamped onto can (autoscaling), so the cached deployment is
+/// rebuilt whenever the active GPU count moved.
 struct StaticScheduler {
     kind: SchemeKind,
     deployment: Deployment,
@@ -159,7 +164,14 @@ impl Scheduler for StaticScheduler {
         self.kind
     }
 
-    fn reoptimize(&mut self, _ctx: &mut SchedulerCtx<'_>) -> Decision {
+    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+        if self.deployment.n_gpus() != ctx.active_gpus {
+            self.deployment = match self.kind {
+                SchemeKind::Base => Deployment::base(ctx.family, ctx.active_gpus),
+                SchemeKind::Co2Opt => Deployment::co2opt(ctx.family, ctx.active_gpus),
+                _ => unreachable!("StaticScheduler is only BASE or CO2OPT"),
+            };
+        }
         Decision {
             deployment: self.deployment.clone(),
             run: None,
@@ -203,7 +215,6 @@ pub fn random_raw_deployment(family: &ModelFamily, n_gpus: usize, rng: &mut SimR
 /// near-optimal configuration to keep up with the pace of the changing
 /// carbon intensity" (paper Sec. 5.2.2).
 struct BloverScheduler {
-    n_gpus: usize,
     params: SaParams,
 }
 
@@ -214,7 +225,7 @@ impl Scheduler for BloverScheduler {
 
     fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
         let family = ctx.family.clone();
-        let n_gpus = self.n_gpus;
+        let n_gpus = ctx.active_gpus;
         let evaluator = &mut *ctx.evaluator;
         let start = random_raw_deployment(&family, n_gpus, ctx.rng);
         let run = anneal(
@@ -250,6 +261,11 @@ impl Scheduler for CloverScheduler {
         let family = ctx.family.clone();
         let sampler = self.sampler;
         let perf = *ctx.perf;
+        // A fleet resize invalidates the warm start (deployments are sized
+        // to the active fleet): re-seed the walk from BASE on the new size.
+        if self.best.n_gpus() != ctx.active_gpus {
+            self.best = Deployment::base(&family, ctx.active_gpus);
+        }
         // Plan for the demand the workload forecasts right now (for the
         // paper's Poisson workload this equals the constant offered rate).
         let rate = ctx.workload.planning_rate_at(ctx.now);
@@ -309,18 +325,19 @@ pub struct ProfiledConfig {
     pub point: MeasuredPoint,
 }
 
-/// ORACLE: exhaustive offline profile + instant argmax switching.
+/// ORACLE: exhaustive offline profile + instant argmax switching. Profiles
+/// are built per fleet size (lazily, first time a size is seen), since an
+/// autoscaled fleet changes the standardized space the oracle ranges over.
 struct OracleScheduler {
-    n_gpus: usize,
-    profile: Option<Vec<ProfiledConfig>>,
+    profiles: Vec<(usize, Vec<ProfiledConfig>)>,
 }
 
 impl OracleScheduler {
-    /// Profiles every standardized configuration with a short DES window.
-    /// This is the paper's "approximately two weeks" of offline work; it is
-    /// not charged to the runtime.
-    fn build_profile(&self, ctx: &mut SchedulerCtx<'_>) -> Vec<ProfiledConfig> {
-        enumerate_standardized(ctx.family, self.n_gpus)
+    /// Profiles every standardized configuration over `n_gpus` with a short
+    /// DES window. This is the paper's "approximately two weeks" of offline
+    /// work; it is not charged to the runtime.
+    fn build_profile(ctx: &mut SchedulerCtx<'_>, n_gpus: usize) -> Vec<ProfiledConfig> {
+        enumerate_standardized(ctx.family, n_gpus)
             .into_iter()
             .enumerate()
             .map(|(i, deployment)| {
@@ -354,10 +371,16 @@ impl Scheduler for OracleScheduler {
     }
 
     fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
-        if self.profile.is_none() {
-            self.profile = Some(self.build_profile(ctx));
-        }
-        let profile = self.profile.as_ref().expect("profile built");
+        let n = ctx.active_gpus;
+        let idx = match self.profiles.iter().position(|(size, _)| *size == n) {
+            Some(i) => i,
+            None => {
+                let profile = Self::build_profile(ctx, n);
+                self.profiles.push((n, profile));
+                self.profiles.len() - 1
+            }
+        };
+        let profile = &self.profiles[idx].1;
         // Select with a safety margin: short profiling windows slightly
         // underestimate the long-run p95, and the oracle must never deploy
         // a violating configuration.
@@ -569,6 +592,7 @@ mod tests {
                 perf: &perf,
                 objective: &objective,
                 now: SimTime::ZERO,
+                active_gpus: 2,
                 workload: &workload,
                 ci: CarbonIntensity::from_g_per_kwh(100.0),
                 evaluator: &mut evaluator,
@@ -580,6 +604,7 @@ mod tests {
                 perf: &perf,
                 objective: &objective,
                 now: SimTime::ZERO,
+                active_gpus: 2,
                 workload: &workload,
                 ci: CarbonIntensity::from_g_per_kwh(400.0),
                 evaluator: &mut evaluator,
@@ -600,6 +625,7 @@ mod tests {
             perf: &perf,
             objective: &objective,
             now: SimTime::ZERO,
+            active_gpus: 2,
             workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(300.0),
             evaluator: &mut evaluator,
@@ -621,6 +647,7 @@ mod tests {
             perf: &perf,
             objective: &objective,
             now: SimTime::ZERO,
+            active_gpus: 2,
             workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(450.0),
             evaluator: &mut evaluator,
@@ -633,6 +660,7 @@ mod tests {
             perf: &perf,
             objective: &objective,
             now: SimTime::ZERO,
+            active_gpus: 2,
             workload: &workload,
             ci: CarbonIntensity::from_g_per_kwh(60.0),
             evaluator: &mut evaluator,

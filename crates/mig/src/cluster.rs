@@ -179,9 +179,22 @@ impl ReconfigCost {
     /// `from`: the max over changed GPUs (they reconfigure in parallel).
     pub fn cluster_downtime(&self, from: &Partitioning, to: &Partitioning) -> SimDuration {
         assert_eq!(from.n_gpus(), to.n_gpus(), "GPU count mismatch");
-        from.configs()
+        self.fleet_downtime(from, to)
+    }
+
+    /// Like [`ReconfigCost::cluster_downtime`], but tolerant of the fleet
+    /// itself resizing (autoscaling): GPUs present in both fleets are
+    /// compared positionally — the active fleet is always a prefix of the
+    /// provisioned one — and reconfigure in parallel. GPUs *joining* the
+    /// fleet were repartitioned and loaded during their provisioning
+    /// warm-up lag (the autoscaler only hands them over once ready), and
+    /// GPUs *leaving* simply drain, so neither side adds downtime for the
+    /// surviving service.
+    pub fn fleet_downtime(&self, from: &Partitioning, to: &Partitioning) -> SimDuration {
+        let shared = from.n_gpus().min(to.n_gpus());
+        from.configs()[..shared]
             .iter()
-            .zip(to.configs().iter())
+            .zip(to.configs()[..shared].iter())
             .map(|(&f, &t)| self.gpu_downtime(f, t))
             .max_by(|a, b| a.partial_cmp(b).expect("finite"))
             .unwrap_or(SimDuration::ZERO)
@@ -304,6 +317,27 @@ mod tests {
         to.configs_mut()[1] = MigConfig::new(7); // 5 + 2*2 = 9 s
         assert_eq!(cost.cluster_downtime(&from, &to).as_secs(), 19.0);
         assert_eq!(to.gpus_changed_from(&from), 2);
+    }
+
+    #[test]
+    fn fleet_downtime_tolerates_resizes() {
+        let cost = ReconfigCost::default_calibration();
+        let four = Partitioning::uniform(4, MigConfig::new(1));
+        let mut two = Partitioning::uniform(2, MigConfig::new(1));
+        // Shrinking the fleet without touching the survivors is free.
+        assert_eq!(cost.fleet_downtime(&four, &two), SimDuration::ZERO);
+        // Growing it is too (new GPUs are prepared during warm-up).
+        assert_eq!(cost.fleet_downtime(&two, &four), SimDuration::ZERO);
+        // Repartitioning a surviving GPU is still charged.
+        two.configs_mut()[0] = MigConfig::new(19); // 5 + 7*2 = 19 s
+        assert_eq!(cost.fleet_downtime(&four, &two).as_secs(), 19.0);
+        // With equal counts it is exactly cluster_downtime.
+        let same = Partitioning::uniform(3, MigConfig::new(7));
+        let other = Partitioning::uniform(3, MigConfig::new(1));
+        assert_eq!(
+            cost.fleet_downtime(&same, &other),
+            cost.cluster_downtime(&same, &other)
+        );
     }
 
     #[test]

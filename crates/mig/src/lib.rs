@@ -8,7 +8,7 @@
 //! service instance. This crate models exactly the parts of that hardware
 //! the scheduler can observe and control:
 //!
-//! - [`slice`] — the five slice types with their compute-unit and memory
+//! - [`slice`](mod@slice) — the five slice types with their compute-unit and memory
 //!   capacities, and [`SliceCensus`] aggregates.
 //! - [`config`] — the table of 19 MIG partition configurations.
 //! - [`cluster`] — the cluster state: the paper's `x_p` optimization

@@ -38,6 +38,11 @@ pub struct PowerModel {
     /// Fraction of `unit_w` drawn by an allocated slice that is idle
     /// (model resident, no request in flight).
     pub idle_fraction: f64,
+    /// Draw of a powered-off GPU, watts: the board is off, but its host
+    /// slot, rails and management controller still leak a trickle. This is
+    /// what an autoscaled-away GPU costs, and why powering down beats
+    /// leaving a fleet idle (idle still pays `static_w` plus idle slices).
+    pub standby_w: f64,
 }
 
 impl PowerModel {
@@ -48,6 +53,7 @@ impl PowerModel {
             unit_w: 54.5,
             allocation_overhead: 0.12,
             idle_fraction: 0.03,
+            standby_w: 4.0,
         }
     }
 
@@ -75,6 +81,11 @@ impl PowerModel {
     /// Static power attributed to one GPU.
     pub fn gpu_static_w(&self) -> f64 {
         self.static_w
+    }
+
+    /// Standby power of one powered-off GPU (autoscaled out of the fleet).
+    pub fn standby_gpu_w(&self) -> f64 {
+        self.standby_w
     }
 
     /// Energy (joules) for one request of `service_secs` on `slice` with the
@@ -134,6 +145,17 @@ mod tests {
             m.busy_slice_w(SliceType::G2, -1.0),
             m.busy_slice_w(SliceType::G2, 0.0)
         );
+    }
+
+    #[test]
+    fn standby_below_static_below_idle_gpu() {
+        let m = PowerModel::a100();
+        assert!(m.standby_gpu_w() > 0.0);
+        assert!(m.standby_gpu_w() < m.gpu_static_w());
+        // A powered-off GPU draws less than an idle one (static plus the
+        // residual of its allocated slices) — the margin autoscaling saves.
+        let idle_full = m.gpu_static_w() + m.idle_slice_w(SliceType::G7);
+        assert!(m.standby_gpu_w() < idle_full / 4.0);
     }
 
     #[test]

@@ -23,7 +23,7 @@
 //! windows (plus the optimizer's evaluation windows) against one
 //! [`ServingSim`], so the per-window working state — event heap, FIFO,
 //! instance table, idle list, per-variant counters, latency histogram —
-//! lives in a [`SimScratch`] that is reset (allocation kept) rather than
+//! lives in a `SimScratch` that is reset (allocation kept) rather than
 //! reallocated each window. The model family is shared by `Arc`, making
 //! simulator construction O(1) instead of a deep clone of the zoo tables.
 
@@ -247,7 +247,7 @@ impl ServingSim {
 
     /// Restarts the RNG from `seed`, exactly as if the simulator had just
     /// been constructed with it. Lets one simulator (and its warm
-    /// [`SimScratch`]) be reused for independently seeded windows — the
+    /// `SimScratch`) be reused for independently seeded windows — the
     /// optimizer's evaluator re-seeds per candidate instead of building a
     /// fresh simulator each time.
     pub fn reseed(&mut self, seed: u64) {

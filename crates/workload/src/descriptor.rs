@@ -535,6 +535,81 @@ mod tests {
     }
 
     #[test]
+    #[should_panic(expected = "empty forecast window")]
+    fn windowed_mean_rejects_a_zero_span_window() {
+        // A zero-span window has no mean; silently returning anything
+        // (0/0, rate_at) would let a scaler divide by a phantom demand.
+        let wl = Workload::poisson(50.0);
+        let _ = wl.windowed_mean(SimTime::from_hours(1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn windowed_mean_past_a_finite_trace_end_is_zero() {
+        // A non-looping replay forecasts *zero* demand beyond its span —
+        // not the base rate — so a forecast-driven scaler correctly powers
+        // down once the recorded traffic runs out. Rescaling the 180 s /
+        // 200-arrival recording to 100 req/s compresses its span to
+        // exactly 2 s (time scales by mean_rps / target_rps = 1/90).
+        let wl = Workload::new(
+            WorkloadKind::Replay {
+                trace: synthetic_trace(),
+                looping: false,
+            },
+            100.0,
+        );
+        let past = wl.windowed_mean(SimTime::from_secs(4.0), SimDuration::from_secs(2.0));
+        assert_eq!(past, 0.0);
+        // A window straddling the end only counts the recorded part: over
+        // [1 s, 3 s) all arrivals fall in [1 s, 2 s), so doubling the span
+        // beyond the end exactly halves the mean.
+        let tail = wl.windowed_mean(SimTime::from_secs(1.0), SimDuration::from_secs(1.0));
+        let straddle = wl.windowed_mean(SimTime::from_secs(1.0), SimDuration::from_secs(2.0));
+        assert!(tail > 0.0);
+        assert!(
+            (straddle - tail / 2.0).abs() < 1e-9,
+            "straddle {straddle} should be half the in-span tail mean {tail}"
+        );
+        // Looping extends the trace periodically instead.
+        let looping = Workload::new(
+            WorkloadKind::Replay {
+                trace: synthetic_trace(),
+                looping: true,
+            },
+            100.0,
+        );
+        let looped = looping.windowed_mean(SimTime::from_secs(4.0), SimDuration::from_secs(2.0));
+        assert!((looped - 100.0).abs() / 100.0 < 1e-6, "looped {looped}");
+    }
+
+    #[test]
+    fn flash_crowd_spike_straddling_the_window_boundary_is_counted() {
+        // Default flash crowd: 2 h period, spike opens at half-period
+        // (1 h), 60 s ramps around a 300 s hold. A forecast window ending
+        // mid-spike must see the partial spike mass, and the two halves
+        // must add back up to the whole.
+        let wl = Workload::new(WorkloadKind::flash_crowd(), 100.0);
+        let spike_mid_s = 3600.0 + 210.0; // ramp + half the hold
+        let half = SimDuration::from_secs(600.0);
+        let before = wl.windowed_mean(SimTime::from_secs(spike_mid_s - 600.0), half);
+        let after = wl.windowed_mean(SimTime::from_secs(spike_mid_s), half);
+        let whole = wl.windowed_mean(
+            SimTime::from_secs(spike_mid_s - 600.0),
+            SimDuration::from_secs(1200.0),
+        );
+        // Each half sees elevated demand (the spike peaks at ~5× base)...
+        assert!(before > wl.mean_rate() * 1.2, "before {before}");
+        assert!(after > wl.mean_rate() * 1.2, "after {after}");
+        // ...and splitting at the boundary conserves the spike's mass.
+        assert!(
+            ((before + after) / 2.0 - whole).abs() / whole < 0.02,
+            "halves {before}+{after} vs whole {whole}"
+        );
+        // Far from the spike the forecast sits at the baseline.
+        let calm = wl.windowed_mean(SimTime::from_secs(100.0), SimDuration::from_secs(600.0));
+        assert!(calm < wl.mean_rate(), "calm window {calm}");
+    }
+
+    #[test]
     fn planning_rate_is_floored_above_zero() {
         // A trace that runs dry forecasts zero demand past its end; the
         // planning view must stay strictly positive for M/M/c estimates.

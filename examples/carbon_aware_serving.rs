@@ -61,6 +61,7 @@ fn main() {
                 objective: &objective,
                 ci: event.current,
                 now: t,
+                active_gpus: n_gpus,
                 workload: &workload,
                 evaluator: &mut evaluator,
                 rng: &mut rng,
