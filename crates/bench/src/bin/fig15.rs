@@ -46,8 +46,9 @@ fn main() {
     let configs: Vec<_> = Application::ALL
         .into_iter()
         .flat_map(|app| {
+            let schemes = schemes.clone();
             sizes.into_iter().flat_map(move |(_, n)| {
-                schemes.into_iter().map(move |scheme| {
+                schemes.clone().into_iter().map(move |scheme| {
                     ExperimentConfig::builder(app)
                         .scheme(scheme)
                         .n_gpus(n)

@@ -1,0 +1,190 @@
+//! Flash-crowd study (beyond the paper): what the control plane's cadence
+//! and fidelity are worth when demand spikes inside the hour.
+//!
+//! The workload is a recurring flash crowd whose ramp opens exactly at an
+//! hourly boundary and is over well before the next one — the adversarial
+//! case for the paper's hourly control loop. Five cells tell the story,
+//! all serving the BASE layout (quality held fixed) so only the fleet and
+//! the measurement move:
+//!
+//! 1. **hourly / full-epoch / static** — the reference: never misses the
+//!    SLA, pays full-fleet carbon around the clock (measured at full
+//!    fidelity, so carbon comparisons are spike-honest).
+//! 2. **hourly / window / reactive** — the scaler powers down through the
+//!    calm stretches, and the 240 s representative window taken at the top
+//!    of the hour samples at most the ramp's first seconds: the run
+//!    reports healthy latency while the crowd is actually overrunning a
+//!    shrunken fleet.
+//! 3. **hourly / full-epoch / reactive** — same decisions, honest
+//!    measurement: simulating whole epochs exposes the SLA violation the
+//!    representative window missed.
+//! 4. **10-minute / full-epoch / reactive** — sub-hour reaction engages,
+//!    but detection plus the one-epoch provisioning delay still concede
+//!    ~20 minutes of overload per crowd: borderline.
+//! 5. **2-minute / full-epoch / reactive** — the loop detects the ramp and
+//!    has the fleet restored within minutes: the crowd is caught, the SLA
+//!    holds, and carbon stays below the static fleet.
+//!
+//! Claims: cells 2 and 3 share scaling decisions but disagree on the
+//! measured tail (the fidelity artifact); cell 5 meets the SLA that cell
+//! 3 violates, at less carbon than cell 1 (sub-hour reactive scaling
+//! catches what hourly epochs miss).
+
+use clover_bench::{bench_threads, header, scaled_horizon};
+use clover_core::autoscale::ScalingPolicy;
+use clover_core::control::Fidelity;
+use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover_core::schedulers::SchemeKind;
+use clover_models::zoo::Application;
+use clover_workload::WorkloadKind;
+
+/// A crowd the hourly loop cannot see coming: the ramp opens at the top of
+/// the hour (right after the hourly control decision), plateaus at 2.5×
+/// the baseline for 30 minutes, and is gone before the next decision.
+fn crowd() -> WorkloadKind {
+    WorkloadKind::FlashCrowd {
+        spike_mult: 2.5,
+        period_hours: 2.0,
+        ramp_s: 300.0,
+        hold_s: 1800.0,
+    }
+}
+
+struct Cell {
+    label: &'static str,
+    epoch_s: f64,
+    fidelity: Fidelity,
+    policy: ScalingPolicy,
+}
+
+fn cells() -> Vec<Cell> {
+    vec![
+        // The carbon/SLA reference is measured at full fidelity too:
+        // cross-fidelity carbon comparisons would be skewed by how much
+        // spike energy a representative window happens to sample.
+        Cell {
+            label: "hourly/full/static",
+            epoch_s: 3600.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::Static,
+        },
+        Cell {
+            label: "hourly/window/reactive",
+            epoch_s: 3600.0,
+            fidelity: Fidelity::RepresentativeWindow { window_s: 240.0 },
+            policy: ScalingPolicy::reactive(),
+        },
+        Cell {
+            label: "hourly/full/reactive",
+            epoch_s: 3600.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::reactive(),
+        },
+        Cell {
+            label: "10min/full/reactive",
+            epoch_s: 600.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::reactive(),
+        },
+        Cell {
+            label: "2min/full/reactive",
+            epoch_s: 120.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::reactive(),
+        },
+    ]
+}
+
+fn config(cell: &Cell) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::Base)
+        .workload(crowd())
+        .scaling(cell.policy)
+        .control_epoch_s(cell.epoch_s)
+        .fidelity(cell.fidelity.clone())
+        .n_gpus(8)
+        .min_gpus(2)
+        .horizon_hours(scaled_horizon().max(12.0))
+        // Leave spike headroom on the fleet (plateau ≈ 1.8× the mean after
+        // normalization) and a tail budget the full fleet can meet even
+        // mid-crowd — what the shrunken fleet cannot.
+        .utilization(0.4)
+        .sla_headroom(2.2)
+        .seed(2023)
+        .build()
+}
+
+fn main() {
+    header(
+        "Fig. A2 (beyond the paper)",
+        "flash crowds vs control cadence and fidelity (BASE layout, reactive fleet)",
+    );
+    let cells = cells();
+    let configs: Vec<ExperimentConfig> = cells.iter().map(config).collect();
+    let outs = Experiment::run_cells(configs, bench_threads());
+
+    println!(
+        "{:<24} {:>10} {:>12} {:>12} {:>10} {:>6}",
+        "cell", "carbon_kg", "vs static %", "mean_gpus", "p95/sla", "sla"
+    );
+    let static_carbon = outs[0].total_carbon_g;
+    for (cell, out) in cells.iter().zip(outs.iter()) {
+        println!(
+            "{:<24} {:>10.2} {:>+12.1} {:>12.2} {:>10.2} {:>6}",
+            cell.label,
+            out.total_carbon_g / 1000.0,
+            (out.total_carbon_g - static_carbon) / static_carbon * 100.0,
+            out.mean_active_gpus,
+            out.p95_s / out.sla_p95_s,
+            if out.sla_met { "ok" } else { "VIOL" }
+        );
+    }
+    println!();
+
+    let by_label = |label: &str| -> &ExperimentOutcome {
+        cells
+            .iter()
+            .position(|c| c.label == label)
+            .map(|i| &outs[i])
+            .expect("cell present")
+    };
+    let blind = by_label("hourly/window/reactive");
+    let honest = by_label("hourly/full/reactive");
+    let fast = by_label("2min/full/reactive");
+
+    // The fidelity artifact: same hourly decisions, opposite verdicts.
+    println!(
+        "fidelity artifact: hourly reactive measures p95/sla {:.2} through its representative \
+         window but {:.2} when the whole epoch is simulated — the crowd falls between windows",
+        blind.p95_s / blind.sla_p95_s,
+        honest.p95_s / honest.sla_p95_s,
+    );
+    // The cadence win: sub-hour reaction bounds the tail the hourly loop
+    // cannot, while still beating the static fleet on carbon.
+    println!(
+        "cadence win: 2-minute epochs cut the honest p95/sla from {:.2} to {:.2} ({} the SLA) \
+         at {:.1}% less carbon than the static fleet",
+        honest.p95_s / honest.sla_p95_s,
+        fast.p95_s / fast.sla_p95_s,
+        if fast.sla_met {
+            "meeting"
+        } else {
+            "still missing"
+        },
+        (static_carbon - fast.total_carbon_g) / static_carbon * 100.0,
+    );
+    // Sub-hour timeline: the fleet visibly breathes within the hour.
+    let resizes = |o: &ExperimentOutcome| {
+        o.timeline
+            .windows(2)
+            .filter(|w| w[0].active_gpus != w[1].active_gpus)
+            .count()
+    };
+    println!(
+        "the 2-minute fleet resized {} times over {} epochs (hourly reactive: {} over {})",
+        resizes(fast),
+        fast.timeline.len(),
+        resizes(honest),
+        honest.timeline.len(),
+    );
+}

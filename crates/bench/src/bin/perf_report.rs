@@ -14,6 +14,7 @@
 //! - `CLOVER_BENCH_SCALE`  — ignored here; the grids are already smoke-sized.
 
 use clover_bench::header;
+use clover_core::control::Fidelity;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
@@ -133,6 +134,28 @@ fn grids(hours: f64) -> Vec<Grid> {
                     seed,
                     hours,
                 )
+            })
+            .collect(),
+    });
+    // The burst path: FullEpoch fidelity under MMPP with 20-minute control
+    // epochs — every arrival of every epoch is simulated (~100× the events
+    // of the representative-window cells), so this grid's events/sec is
+    // the number CI watches to keep full-epoch simulation affordable. The
+    // horizon is capped: the point is throughput, not coverage.
+    out.push(Grid {
+        name: "full_epoch_mmpp",
+        configs: [SchemeKind::Base, SchemeKind::Clover]
+            .into_iter()
+            .map(|scheme| {
+                ExperimentConfig::builder(Application::ImageClassification)
+                    .scheme(scheme)
+                    .workload(clover_workload::WorkloadKind::mmpp())
+                    .fidelity(Fidelity::FullEpoch)
+                    .control_epoch_s(1200.0)
+                    .n_gpus(4)
+                    .horizon_hours(hours.min(2.0))
+                    .seed(2023)
+                    .build()
             })
             .collect(),
     });
@@ -259,6 +282,16 @@ fn main() {
     }
 
     let all_deterministic = results.iter().all(|r| r.deterministic);
+    // The burst path's headline number (events/sec with every epoch fully
+    // simulated), surfaced at the top level so CI diffs catch regressions
+    // without digging through the grid list.
+    let full_epoch_eps = results
+        .iter()
+        .find(|r| r.name == "full_epoch_mmpp")
+        .map(|r| r.serial_events_per_sec)
+        .unwrap_or(0.0);
+    println!();
+    println!("full-epoch burst path: {full_epoch_eps:.0} events/sec (serial)");
 
     // Hand-rolled JSON: the offline serde stub does not serialize.
     let mut json = String::new();
@@ -267,6 +300,9 @@ fn main() {
     json.push_str(&format!("  \"horizon_hours\": {hours},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"deterministic\": {all_deterministic},\n"));
+    json.push_str(&format!(
+        "  \"full_epoch_events_per_sec\": {full_epoch_eps:.1},\n"
+    ));
     json.push_str(&format!(
         "  \"des\": {{\"windows\": {}, \"events\": {}, \"wall_s\": {:.6}, \"events_per_sec\": {:.1}, \"allocs_per_window\": {:.2}, \"bytes_per_window\": {:.1}}},\n",
         des.windows, des.events, des.wall_s, des.events_per_sec, des.allocs_per_window, des.bytes_per_window

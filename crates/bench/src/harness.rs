@@ -87,7 +87,37 @@ pub fn run_grid(cells: &[(Application, SchemeKind)]) -> Vec<ExperimentOutcome> {
     run_cells(
         cells
             .iter()
-            .map(|&(app, scheme)| std_config(app, scheme))
+            .map(|(app, scheme)| std_config(*app, scheme.clone()))
             .collect(),
     )
+}
+
+/// Resolves a scheme by name — the paper's five by their labels
+/// (case-insensitive), anything else as a registry-backed custom scheme.
+/// This is how binaries accept `CLOVER_SCHEMES`-style overrides.
+pub fn scheme_by_name(name: &str) -> SchemeKind {
+    SchemeKind::parse(name)
+}
+
+/// The schemes a binary should run: the comma-separated `CLOVER_SCHEMES`
+/// environment variable when set (names resolved by [`scheme_by_name`];
+/// empty segments from trailing or doubled commas are ignored), otherwise
+/// `default`.
+pub fn schemes_from_env(default: &[SchemeKind]) -> Vec<SchemeKind> {
+    match std::env::var("CLOVER_SCHEMES") {
+        Ok(list) => {
+            let schemes: Vec<SchemeKind> = list
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(scheme_by_name)
+                .collect();
+            if schemes.is_empty() {
+                default.to_vec()
+            } else {
+                schemes
+            }
+        }
+        _ => default.to_vec(),
+    }
 }

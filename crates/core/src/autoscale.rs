@@ -3,11 +3,14 @@
 //! The paper's schemes repartition a *fixed* GPU fleet; the carbon they
 //! cannot touch is the static and idle draw of capacity that nothing needs.
 //! This module adds the elastic dimension: each decision epoch (the
-//! experiment's hourly control step), a [`Scaler`] consults the workload's
+//! experiment's control step — hourly by default, sub-hour via
+//! [`crate::control::ControlEpoch`]), a [`Scaler`] consults the workload's
 //! [`DemandForecast`] and chooses how many
 //! of the provisioned GPUs should be *active* — serving instances — with
-//! the rest either *warming* (powered, loading models, joining after a
-//! provisioning lag) or *off* (drawing only standby watts).
+//! the rest *warming* (powered, loading models, joining after a
+//! provisioning lag), *draining* (recently retired: finishing in-flight
+//! work, admitting nothing, still drawing power until confirmed empty), or
+//! *off* (drawing only standby watts).
 //!
 //! Three policies are compared ([`ScalingPolicy`]):
 //!
@@ -131,6 +134,12 @@ pub struct ScalerConfig {
     /// models) before it joins the active fleet. It draws full static
     /// power while warming.
     pub provision_delay_epochs: u32,
+    /// Epochs a retired GPU spends *draining* before it powers down to
+    /// standby: it finishes in-flight work, admits nothing, and keeps
+    /// drawing power (static floor plus the residual of its resident
+    /// slices) until the control plane confirms it empty at an epoch
+    /// boundary. `0` restores the old instant-drain fiction.
+    pub drain_epochs: u32,
 }
 
 impl ScalerConfig {
@@ -158,6 +167,7 @@ impl ScalerConfig {
             target_utilization: 0.65,
             cooldown_epochs: 1,
             provision_delay_epochs: 1,
+            drain_epochs: 1,
         }
     }
 }
@@ -170,14 +180,17 @@ pub struct FleetState {
     pub active: usize,
     /// GPUs powered and warming up (full static draw, no instances yet).
     pub warming: usize,
+    /// Recently retired GPUs still draining: finishing in-flight work,
+    /// admitting nothing, drawing power until confirmed empty.
+    pub draining: usize,
     /// GPUs powered off (standby draw only).
     pub off: usize,
 }
 
 impl FleetState {
-    /// GPUs drawing wall power (active plus warming).
+    /// GPUs drawing wall power (active, warming, or draining).
     pub fn powered(&self) -> usize {
-        self.active + self.warming
+        self.active + self.warming + self.draining
     }
 }
 
@@ -211,7 +224,9 @@ impl FleetState {
 /// assert!(min_active <= 2, "trough should power GPUs down");
 /// assert_eq!(max_active, 4, "peak should restore the full fleet");
 /// // The partition always accounts for every provisioned GPU.
-/// assert!(fleet.iter().all(|f| f.active + f.warming + f.off == 4));
+/// assert!(fleet
+///     .iter()
+///     .all(|f| f.active + f.warming + f.draining + f.off == 4));
 /// ```
 #[derive(Debug, Clone)]
 pub struct Scaler {
@@ -220,6 +235,9 @@ pub struct Scaler {
     active: usize,
     /// Batches of powered-but-warming GPUs: `(ready_epoch, count)`.
     warming: Vec<(u64, usize)>,
+    /// Batches of retired-but-draining GPUs: `(empty_epoch, count)`. They
+    /// power down to standby once their epoch expires.
+    draining: Vec<(u64, usize)>,
     /// No scaling action before this epoch.
     cooldown_until: u64,
     /// Next epoch index `step` will process.
@@ -233,6 +251,7 @@ impl Scaler {
         Scaler {
             active: cfg.max_gpus,
             warming: Vec::new(),
+            draining: Vec::new(),
             cooldown_until: 0,
             epoch: 0,
             cfg,
@@ -242,6 +261,11 @@ impl Scaler {
     /// The configuration in force.
     pub fn config(&self) -> &ScalerConfig {
         &self.cfg
+    }
+
+    /// The current fleet partition, without advancing an epoch.
+    pub fn fleet(&self) -> FleetState {
+        self.state()
     }
 
     /// Advances one decision epoch at global time `now` and returns the
@@ -255,7 +279,9 @@ impl Scaler {
             return self.state();
         }
 
-        // Promote batches whose warm-up lag has elapsed.
+        // Promote batches whose warm-up lag has elapsed, and power down
+        // retired GPUs whose drain window is over (they fall to standby —
+        // `state()` derives `off` from what remains committed).
         let mut ready = 0usize;
         self.warming.retain(|&(at, n)| {
             if at <= epoch {
@@ -266,6 +292,7 @@ impl Scaler {
             }
         });
         self.active = (self.active + ready).min(self.cfg.max_gpus);
+        self.draining.retain(|&(until, _)| until > epoch);
 
         let demand = match self.cfg.policy {
             ScalingPolicy::Static => unreachable!("handled above"),
@@ -284,7 +311,13 @@ impl Scaler {
             if util_powered > up && powered < self.cfg.max_gpus {
                 // Grow toward the target utilization; the new GPUs draw
                 // power now but serve only after the provisioning delay.
-                let add = self.desired(demand).saturating_sub(powered);
+                // Draining boards are not re-conscripted mid-drain: growth
+                // is bounded by what is genuinely uncommitted.
+                let uncommitted = self.cfg.max_gpus - powered - self.draining_count();
+                let add = self
+                    .desired(demand)
+                    .saturating_sub(powered)
+                    .min(uncommitted);
                 if add > 0 {
                     if self.cfg.provision_delay_epochs == 0 {
                         self.active += add;
@@ -295,11 +328,18 @@ impl Scaler {
                     self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
                 }
             } else if util_active < down && self.active > self.cfg.min_gpus && self.pending() == 0 {
-                // Shrink toward the target utilization: the retired GPUs'
-                // instances drain and the boards power down to standby.
+                // Shrink toward the target utilization: the retired GPUs
+                // enter the drain window — in-flight work finishes, nothing
+                // new is admitted, power keeps flowing — and only then fall
+                // to standby.
                 let desired = self.desired(demand);
                 if desired < self.active {
+                    let retired = self.active - desired;
                     self.active = desired;
+                    if self.cfg.drain_epochs > 0 {
+                        self.draining
+                            .push((epoch + u64::from(self.cfg.drain_epochs), retired));
+                    }
                     self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
                 }
             }
@@ -319,12 +359,18 @@ impl Scaler {
         self.warming.iter().map(|&(_, n)| n).sum()
     }
 
+    fn draining_count(&self) -> usize {
+        self.draining.iter().map(|&(_, n)| n).sum()
+    }
+
     fn state(&self) -> FleetState {
         let warming = self.pending();
+        let draining = self.draining_count();
         FleetState {
             active: self.active,
             warming,
-            off: self.cfg.max_gpus - self.active - warming,
+            draining,
+            off: self.cfg.max_gpus - self.active - warming - draining,
         }
     }
 }
@@ -355,6 +401,7 @@ mod tests {
                 FleetState {
                     active: 4,
                     warming: 0,
+                    draining: 0,
                     off: 0
                 }
             );
@@ -382,7 +429,12 @@ mod tests {
             assert!(min <= 2, "{}: trough kept {min} GPUs", policy.label());
             assert_eq!(max, 4, "{}: peak never restored", policy.label());
             for f in &fleet {
-                assert_eq!(f.active + f.warming + f.off, 4, "{}", policy.label());
+                assert_eq!(
+                    f.active + f.warming + f.draining + f.off,
+                    4,
+                    "{}",
+                    policy.label()
+                );
             }
         }
     }
@@ -485,5 +537,64 @@ mod tests {
     #[should_panic(expected = "scaler bounds invalid")]
     fn min_above_max_rejected() {
         let _ = ScalerConfig::new(ScalingPolicy::Static, 5, 4, 50.0);
+    }
+
+    #[test]
+    fn scale_down_drains_before_standby() {
+        // Demand at the floor: the scaler retires three of four GPUs; they
+        // must spend the configured drain window finishing in-flight work
+        // (powered, admitting nothing) before falling to standby.
+        let workload = Workload::poisson(10.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.drain_epochs = 2;
+        let mut scaler = Scaler::new(cfg);
+        let f0 = scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(f0.active, 1);
+        assert_eq!(f0.draining, 3, "retired GPUs must drain first");
+        assert_eq!(f0.off, 0, "nothing powers down during the drain");
+        assert_eq!(f0.powered(), 4, "draining boards still draw wall power");
+        let f1 = scaler.step(SimTime::from_hours(1.0), &workload.forecast());
+        assert_eq!(f1.draining, 3, "drain window spans two epochs");
+        let f2 = scaler.step(SimTime::from_hours(2.0), &workload.forecast());
+        assert_eq!(f2.draining, 0, "drained GPUs fall to standby");
+        assert_eq!(f2.off, 3);
+    }
+
+    #[test]
+    fn zero_drain_epochs_restores_instant_powerdown() {
+        let workload = Workload::poisson(10.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.drain_epochs = 0;
+        let mut scaler = Scaler::new(cfg);
+        let f0 = scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(f0.active, 1);
+        assert_eq!(f0.draining, 0);
+        assert_eq!(f0.off, 3, "instant drain powers boards straight down");
+    }
+
+    #[test]
+    fn draining_boards_are_not_reconscripted() {
+        // Retire three boards, then surge while they drain: growth may only
+        // commit genuinely free boards, so the fleet never double-books.
+        let quiet = Workload::poisson(10.0);
+        let surge = Workload::poisson(1000.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.drain_epochs = 3;
+        cfg.cooldown_epochs = 0;
+        let mut scaler = Scaler::new(cfg);
+        let f0 = scaler.step(SimTime::ZERO, &quiet.forecast());
+        assert_eq!((f0.active, f0.draining), (1, 3));
+        let f1 = scaler.step(SimTime::from_hours(1.0), &surge.forecast());
+        assert_eq!(f1.draining, 3, "drain continues through the surge");
+        assert_eq!(f1.warming, 0, "no free boards to conscript");
+        assert!(f1.active + f1.warming + f1.draining + f1.off == 4);
+        // Once the drain ends the surge is answered from the freed boards.
+        let mut grown = false;
+        for h in 3..6 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &surge.forecast());
+            assert!(f.active + f.warming + f.draining + f.off == 4);
+            grown |= f.powered() > 1;
+        }
+        assert!(grown, "surge never answered after the drain");
     }
 }

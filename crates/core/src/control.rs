@@ -1,0 +1,499 @@
+//! The control plane: epoch cadence, serving-simulation fidelity, and the
+//! monitor → scaler → scheduler loop, extracted from the experiment
+//! runtime into a first-class API.
+//!
+//! The paper's methodology hard-wires three distinct cadences to the same
+//! hourly clock: the carbon trace's sample period, the control loop's
+//! decision period, and the serving simulation's extrapolation period.
+//! This module pulls them apart:
+//!
+//! - A [`ControlEpoch`] is one tick of the control loop. Its length is
+//!   configurable ([`crate::experiment::ExperimentConfigBuilder::control_epoch_s`],
+//!   e.g. 10 minutes) and independent of the trace: carbon intensity is
+//!   still held per *trace hour*, so a sub-hour cadence re-reads the same
+//!   intensity until the trace steps. Sub-hour epochs are what let a
+//!   reactive autoscaler engage with flash crowds that an hourly loop
+//!   sleeps through.
+//! - A [`Fidelity`] says how much of each epoch the DES actually serves:
+//!   [`Fidelity::RepresentativeWindow`] (the paper's methodology and the
+//!   default — simulate a short window, extrapolate counters to the whole
+//!   epoch, valid when traffic is stationary within an epoch) or
+//!   [`Fidelity::FullEpoch`] (drive the DES over the entire epoch, so
+//!   MMPP/flash bursts are actually sampled instead of averaged away).
+//! - A [`ControlPlane`] owns the per-experiment decision state — carbon
+//!   monitor, autoscaler, scheduler, live evaluator, scheduler RNG — and
+//!   exposes the two halves of the loop: [`ControlPlane::begin_epoch`]
+//!   (observe the grid, size the fleet, re-plan when a trigger fires) and
+//!   [`ControlPlane::observe_serving`] (feed the served window back:
+//!   SLA-violation re-invocation state plus the scheduler's
+//!   [`crate::schedulers::Scheduler::observe`] hook).
+//!
+//! The default configuration — hourly epochs, representative window —
+//! reproduces the pre-extraction experiment results bit for bit (pinned by
+//! `tests/control_plane.rs`). See `docs/control-plane.md`.
+
+use crate::anneal::OptimizationRun;
+use crate::autoscale::{FleetState, Scaler};
+use crate::eval::DesEvaluator;
+use crate::objective::Objective;
+use crate::schedulers::{Observation, Scheduler, SchedulerCtx};
+use clover_carbon::{CarbonIntensity, CarbonMonitor};
+use clover_models::{ModelFamily, PerfModel};
+use clover_serving::{Deployment, WindowMetrics};
+use clover_simkit::{SimDuration, SimRng, SimTime};
+use clover_workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How much of each control epoch the serving simulator actually runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Fidelity {
+    /// Simulate a `window_s`-second representative window per epoch and
+    /// extrapolate its counters to the whole epoch — the paper's Sec. 5.1
+    /// methodology (the system is treated as stationary within an epoch)
+    /// and the default.
+    RepresentativeWindow {
+        /// Simulated window per epoch, seconds.
+        window_s: f64,
+    },
+    /// Drive the DES over the entire epoch, no extrapolation: bursty
+    /// arrival processes (MMPP, flash crowds) are sampled end to end
+    /// instead of through whatever slice a representative window happens
+    /// to catch. ~`epoch/window`× the events of the representative path;
+    /// affordable since the allocation-free DES window and the parallel
+    /// grid landed.
+    FullEpoch,
+}
+
+impl Fidelity {
+    /// The default representative window, seconds (the paper's 240 s).
+    pub const DEFAULT_WINDOW_S: f64 = 240.0;
+
+    /// The paper's default: a 240 s representative window.
+    pub fn representative() -> Self {
+        Fidelity::RepresentativeWindow {
+            window_s: Self::DEFAULT_WINDOW_S,
+        }
+    }
+
+    /// Short display label (figure legends, CSV columns).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fidelity::RepresentativeWindow { .. } => "window",
+            Fidelity::FullEpoch => "full-epoch",
+        }
+    }
+
+    /// The measurement plan for one epoch of the given length: what to
+    /// simulate, how much warmup precedes measurement, and the factor that
+    /// extrapolates window counters to the whole epoch.
+    pub fn window_plan(&self, epoch_len: SimDuration) -> WindowPlan {
+        match self {
+            Fidelity::RepresentativeWindow { window_s } => WindowPlan {
+                window: SimDuration::from_secs(*window_s),
+                warmup: SimDuration::from_secs((window_s * 0.05).clamp(1.0, 8.0)),
+                scale: epoch_len.as_secs() / window_s,
+            },
+            // The epoch is measured end to end; nothing to extrapolate and
+            // no warmup to discard (every burst must be sampled).
+            Fidelity::FullEpoch => WindowPlan {
+                window: epoch_len,
+                warmup: SimDuration::ZERO,
+                scale: 1.0,
+            },
+        }
+    }
+}
+
+impl Default for Fidelity {
+    /// The paper's representative-window methodology.
+    fn default() -> Self {
+        Fidelity::representative()
+    }
+}
+
+impl fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One epoch's measurement plan (see [`Fidelity::window_plan`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowPlan {
+    /// Span the DES measures.
+    pub window: SimDuration,
+    /// Warmup simulated (and discarded) before measurement.
+    pub warmup: SimDuration,
+    /// Factor extrapolating measured counters to the whole epoch (`1` for
+    /// [`Fidelity::FullEpoch`]).
+    pub scale: f64,
+}
+
+/// One tick of the control loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ControlEpoch {
+    /// Epoch index from the start of the run.
+    pub index: u32,
+    /// Epoch start on the global clock.
+    pub start: SimTime,
+    /// Epoch length.
+    pub len: SimDuration,
+}
+
+impl ControlEpoch {
+    /// Epoch start, hours from the start of the run.
+    pub fn start_hours(&self) -> f64 {
+        self.start.as_hours()
+    }
+
+    /// The trace hour containing this epoch's start.
+    pub fn trace_hour(&self) -> u32 {
+        self.start_hours() as u32
+    }
+}
+
+/// The run's control cadence: `count` epochs of `epoch_s` seconds each.
+///
+/// Epoch lengths must evenly divide one hour (validated by the experiment
+/// config builder): the carbon trace is hourly, and epochs that straddled
+/// trace samples would smear two intensities into one decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochSchedule {
+    epoch_s: f64,
+    /// Epochs per hour (validated integral).
+    per_hour: u32,
+    count: u32,
+}
+
+impl EpochSchedule {
+    /// Covers `horizon_hours` with epochs of `epoch_s` seconds (the last
+    /// epoch may overshoot a fractional horizon, exactly as the hourly
+    /// loop ceiled fractional horizons).
+    ///
+    /// # Panics
+    /// Panics unless `epoch_s` is positive and evenly divides one hour.
+    pub fn new(horizon_hours: f64, epoch_s: f64) -> Self {
+        let per_hour = per_hour_or_panic(epoch_s);
+        assert!(
+            horizon_hours > 0.0,
+            "epoch schedule: non-positive horizon ({horizon_hours} h)"
+        );
+        EpochSchedule {
+            epoch_s,
+            per_hour: per_hour as u32,
+            count: (horizon_hours * per_hour).ceil() as u32,
+        }
+    }
+
+    /// Number of epochs in the schedule.
+    pub fn count(&self) -> u32 {
+        self.count
+    }
+
+    /// Epoch length.
+    pub fn epoch_len(&self) -> SimDuration {
+        SimDuration::from_secs(self.epoch_s)
+    }
+
+    /// Epoch length, hours.
+    pub fn epoch_hours(&self) -> f64 {
+        // Via the validated integral epochs-per-hour so the hourly
+        // default is exactly 1.0 (3600/3600), not a rounding neighbor.
+        1.0 / f64::from(self.per_hour)
+    }
+
+    /// The epochs, in order. Starts are computed as integer trace hour
+    /// plus an in-hour fraction — never as `index × epoch_hours` — so an
+    /// epoch that opens a trace hour starts at *exactly* that hour for
+    /// every valid cadence (`index * (1/n)` rounds past the boundary for
+    /// some `n`, which would make the monitor read the previous hour's
+    /// intensity and mislabel the timeline).
+    pub fn iter(&self) -> impl Iterator<Item = ControlEpoch> + '_ {
+        let len = self.epoch_len();
+        let hours = self.epoch_hours();
+        let per_hour = self.per_hour;
+        (0..self.count).map(move |index| {
+            let hour = index / per_hour;
+            let frac = f64::from(index % per_hour) * hours;
+            ControlEpoch {
+                index,
+                start: SimTime::from_hours(f64::from(hour) + frac),
+                len,
+            }
+        })
+    }
+}
+
+/// Epochs per hour when `epoch_s` is valid; panics with the builder's
+/// contract otherwise.
+pub(crate) fn per_hour_or_panic(epoch_s: f64) -> f64 {
+    assert!(
+        epoch_s.is_finite() && epoch_s > 0.0,
+        "control_epoch_s must be positive, got {epoch_s}"
+    );
+    let per_hour = 3600.0 / epoch_s;
+    assert!(
+        per_hour >= 1.0 && (per_hour - per_hour.round()).abs() < 1e-9,
+        "control_epoch_s ({epoch_s} s) must evenly divide one hour: the carbon trace is hourly, \
+         and a cadence that straddles trace samples would smear two intensities into one decision \
+         (use e.g. 600, 900, 1200, 1800 or 3600 seconds)"
+    );
+    per_hour.round()
+}
+
+/// Read-only environment the control plane plans within: the experiment's
+/// derived model family, hardware model, objective and workload.
+pub struct PlaneEnv<'a> {
+    /// The application's model family.
+    pub family: &'a ModelFamily,
+    /// Hardware performance model.
+    pub perf: &'a PerfModel,
+    /// The objective (λ, baselines, SLA).
+    pub objective: &'a Objective,
+    /// The offered workload (generator and forecast).
+    pub workload: &'a Workload,
+}
+
+/// What [`ControlPlane::begin_epoch`] decided for one epoch.
+pub struct EpochPlan {
+    /// Carbon intensity in force this epoch (held per trace hour).
+    pub ci: CarbonIntensity,
+    /// The fleet partition to run with.
+    pub fleet: FleetState,
+    /// A new configuration to serve with, when (re)planning happened this
+    /// epoch; `None` keeps the current one.
+    pub deployment: Option<Deployment>,
+    /// The optimization run behind the plan, for schemes that search
+    /// online (charged time, eval records).
+    pub run: Option<OptimizationRun>,
+    /// Live measurement windows the evaluator charged while searching —
+    /// exploration traffic the caller must fold into the run totals 1:1.
+    pub eval_windows: Vec<WindowMetrics>,
+}
+
+/// The per-experiment decision loop: carbon monitor, autoscaler, scheduler
+/// and live evaluator behind one stepped interface.
+///
+/// Drive it as `begin_epoch` → serve the epoch (at the configured
+/// [`Fidelity`]) → `observe_serving`, once per [`ControlEpoch`], in order.
+/// All state is owned and all randomness flows from the seeds it was
+/// constructed with, so experiments stay byte-identical between serial and
+/// parallel grid execution.
+pub struct ControlPlane {
+    scheduler: Box<dyn Scheduler>,
+    monitor: CarbonMonitor,
+    scaler: Scaler,
+    evaluator: DesEvaluator,
+    rng: SimRng,
+    active_gpus: usize,
+    sla_violated: bool,
+}
+
+impl ControlPlane {
+    /// Assembles a control plane; the scaler's current fleet is taken as
+    /// the initially active one.
+    pub fn new(
+        scheduler: Box<dyn Scheduler>,
+        monitor: CarbonMonitor,
+        scaler: Scaler,
+        evaluator: DesEvaluator,
+        rng: SimRng,
+    ) -> Self {
+        let active_gpus = scaler.fleet().active;
+        ControlPlane {
+            scheduler,
+            monitor,
+            scaler,
+            evaluator,
+            rng,
+            active_gpus,
+            sla_violated: false,
+        }
+    }
+
+    /// The scheduler driving the plan.
+    pub fn scheduler(&self) -> &dyn Scheduler {
+        self.scheduler.as_ref()
+    }
+
+    /// Opens `epoch`: observes the grid, sizes the fleet, and — when a
+    /// control trigger fires (start-up, carbon drift beyond the monitor
+    /// threshold, an SLA violation in the previous epoch, a fleet resize)
+    /// — invokes the scheduler for a fresh configuration.
+    pub fn begin_epoch(&mut self, epoch: &ControlEpoch, env: &PlaneEnv<'_>) -> EpochPlan {
+        let t = epoch.start;
+        let event = self.monitor.observe(t);
+        let ci = event.current;
+
+        let fleet = self.scaler.step(t, &env.workload.forecast());
+        let fleet_changed = fleet.active != self.active_gpus;
+        self.active_gpus = fleet.active;
+
+        let mut plan = EpochPlan {
+            ci,
+            fleet,
+            deployment: None,
+            run: None,
+            eval_windows: Vec::new(),
+        };
+        if epoch.index == 0 || event.triggered || self.sla_violated || fleet_changed {
+            // Candidates are evaluated at the demand the workload forecasts
+            // for this epoch (the constant offered rate under the paper's
+            // Poisson workload; floored above zero so the measurement
+            // windows stay well-defined when a trace has run dry).
+            self.evaluator.rate_rps = env.workload.planning_rate_at(t);
+            let decision = self.scheduler.plan(&mut SchedulerCtx {
+                family: env.family,
+                perf: env.perf,
+                objective: env.objective,
+                ci,
+                now: t,
+                active_gpus: self.active_gpus,
+                workload: env.workload,
+                evaluator: &mut self.evaluator,
+                rng: &mut self.rng,
+            });
+            self.monitor.acknowledge(ci);
+            plan.run = decision.run;
+            // Exploration traffic is real traffic: hand it to the caller
+            // to fold into the run totals 1:1. Drained unconditionally —
+            // a scheme may measure candidates through the evaluator yet
+            // return no OptimizationRun, and its charged windows must
+            // neither accumulate nor slip to a later epoch's intensity.
+            plan.eval_windows = self.evaluator.take_window_log();
+            self.evaluator.apply(decision.deployment.clone());
+            plan.deployment = Some(decision.deployment);
+        }
+        plan
+    }
+
+    /// Closes `epoch` with the metrics of its served window: records the
+    /// SLA-violation re-invocation trigger (carbon-aware schemes only, per
+    /// the paper's Sec. 4.2) and forwards the measurement to the
+    /// scheduler's feedback hook.
+    pub fn observe_serving(
+        &mut self,
+        epoch: &ControlEpoch,
+        metrics: &WindowMetrics,
+        env: &PlaneEnv<'_>,
+    ) {
+        // A silent epoch has no measured tail: it must not count as an SLA
+        // violation (nor spuriously pass one — `p95_latency_s` is `None`,
+        // not 0.0, for zero-served windows).
+        self.sla_violated = metrics
+            .p95_latency_s
+            .is_some_and(|p| p > env.objective.l_tail_s)
+            && self.scheduler.carbon_aware();
+        self.scheduler.observe(&Observation {
+            metrics,
+            at: epoch.start,
+            active_gpus: self.active_gpus,
+            workload: env.workload,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hourly_schedule_matches_the_legacy_loop() {
+        let s = EpochSchedule::new(48.0, 3600.0);
+        assert_eq!(s.count(), 48);
+        assert_eq!(s.epoch_hours(), 1.0);
+        let epochs: Vec<ControlEpoch> = s.iter().collect();
+        assert_eq!(epochs.len(), 48);
+        assert_eq!(epochs[0].start, SimTime::ZERO);
+        assert_eq!(epochs[7].start, SimTime::from_hours(7.0));
+        assert_eq!(epochs[7].trace_hour(), 7);
+        // Fractional horizons ceil, exactly like the hourly loop did.
+        assert_eq!(EpochSchedule::new(5.5, 3600.0).count(), 6);
+    }
+
+    #[test]
+    fn sub_hour_schedule_subdivides_the_hour() {
+        let s = EpochSchedule::new(2.0, 600.0);
+        assert_eq!(s.count(), 12);
+        assert!((s.epoch_hours() - 1.0 / 6.0).abs() < 1e-15);
+        let epochs: Vec<ControlEpoch> = s.iter().collect();
+        assert_eq!(epochs[6].start, SimTime::from_hours(1.0));
+        assert_eq!(epochs[5].trace_hour(), 0);
+        assert_eq!(epochs[6].trace_hour(), 1);
+        assert_eq!(epochs[11].len, SimDuration::from_secs(600.0));
+    }
+
+    #[test]
+    fn hour_boundaries_are_exact_for_every_valid_cadence() {
+        // Every divisor of 3600 is a legal cadence; the epoch opening each
+        // trace hour must start at exactly that hour (`index × (1/n)`
+        // arithmetic drifts below the boundary for some n, e.g. n = 49 on
+        // another divisor set — the start is built from the integer hour
+        // instead). Tolerance-accepted near-divisors snap the same way.
+        let divisors = (1..=3600u32).filter(|d| 3600 % d == 0);
+        for per_hour in divisors.map(|d| 3600 / d) {
+            let s = EpochSchedule::new(3.0, 3600.0 / f64::from(per_hour));
+            for epoch in s.iter() {
+                if epoch.index % per_hour == 0 {
+                    let hour = epoch.index / per_hour;
+                    assert_eq!(
+                        epoch.start,
+                        SimTime::from_hours(f64::from(hour)),
+                        "cadence {per_hour}/h: epoch {} misses hour {hour}",
+                        epoch.index
+                    );
+                    assert_eq!(epoch.trace_hour(), hour);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide one hour")]
+    fn ragged_epoch_rejected() {
+        let _ = EpochSchedule::new(2.0, 700.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_epoch_rejected() {
+        let _ = EpochSchedule::new(2.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide one hour")]
+    fn epoch_beyond_an_hour_rejected() {
+        // Multi-hour epochs would straddle trace samples just the same.
+        let _ = EpochSchedule::new(4.0, 7200.0);
+    }
+
+    #[test]
+    fn representative_plan_reproduces_the_paper_methodology() {
+        let f = Fidelity::RepresentativeWindow { window_s: 240.0 };
+        let p = f.window_plan(SimDuration::from_hours(1.0));
+        assert_eq!(p.window, SimDuration::from_secs(240.0));
+        assert_eq!(p.warmup, SimDuration::from_secs(8.0));
+        assert_eq!(p.scale, 3600.0 / 240.0);
+        // Short windows clamp the warmup from below.
+        let q = Fidelity::RepresentativeWindow { window_s: 10.0 }
+            .window_plan(SimDuration::from_secs(600.0));
+        assert_eq!(q.warmup, SimDuration::from_secs(1.0));
+        assert_eq!(q.scale, 60.0);
+    }
+
+    #[test]
+    fn full_epoch_plan_measures_everything() {
+        let p = Fidelity::FullEpoch.window_plan(SimDuration::from_secs(600.0));
+        assert_eq!(p.window, SimDuration::from_secs(600.0));
+        assert_eq!(p.warmup, SimDuration::ZERO);
+        assert_eq!(p.scale, 1.0);
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(Fidelity::default(), Fidelity::representative());
+        assert_eq!(Fidelity::default().label(), "window");
+        assert_eq!(format!("{}", Fidelity::FullEpoch), "full-epoch");
+    }
+}

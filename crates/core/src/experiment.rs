@@ -11,14 +11,18 @@
 //!    [`ExperimentConfigBuilder::workload`]), and the SLA (the BASE
 //!    deployment's measured p95, which is *not* relaxed when GPUs get
 //!    partitioned);
-//! 2. each hour, observe the grid; if intensity drifted more than 5% since
-//!    the last optimization (or at start-up), invoke the scheme's scheduler
-//!    — its live evaluation windows and reconfiguration downtime are charged
-//!    and their traffic folded into the results, exactly as the paper
-//!    includes optimization overhead in all reported numbers;
-//! 3. serve a representative window of the hour with the chosen
-//!    configuration and extrapolate counters to the full hour (the system is
-//!    stationary within an hour because the trace is hourly);
+//! 2. each control epoch (hourly by default, sub-hour via
+//!    [`ExperimentConfigBuilder::control_epoch_s`]), the
+//!    [`crate::control::ControlPlane`] observes the grid; if intensity
+//!    drifted more than 5% since the last optimization (or at start-up, on
+//!    an SLA violation, or on a fleet resize), it invokes the scheme's
+//!    scheduler — its live evaluation windows and reconfiguration downtime
+//!    are charged and their traffic folded into the results, exactly as the
+//!    paper includes optimization overhead in all reported numbers;
+//! 3. serve the epoch at the configured [`Fidelity`]: a representative
+//!    window extrapolated to the epoch (the paper's methodology — valid
+//!    when traffic is stationary within an epoch) or the full epoch
+//!    ([`Fidelity::FullEpoch`], so bursts are actually sampled);
 //! 4. account energy → carbon through the time-varying trace at PUE 1.5.
 //!
 //! A synchronized BASE run over the same trace and seeds provides the
@@ -26,12 +30,14 @@
 
 use crate::anneal::{EvalRecord, SaParams};
 use crate::autoscale::{Scaler, ScalerConfig, ScalingPolicy};
+use crate::control::{per_hour_or_panic, ControlPlane, EpochSchedule, Fidelity, PlaneEnv};
 use crate::eval::DesEvaluator;
 use crate::objective::{MeasuredPoint, Objective};
-use crate::schedulers::{make_scheduler, SchedulerCtx, SchemeKind};
+use crate::schedulers::{make_scheduler, SchemeKind};
 use clover_carbon::{
     CarbonIntensity, CarbonLedger, CarbonMonitor, CarbonTrace, Energy, Pue, Region,
 };
+use clover_mig::SliceType;
 use clover_models::zoo::Application;
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
@@ -81,8 +87,13 @@ pub struct ExperimentConfig {
     pub utilization_target: f64,
     /// Master seed.
     pub seed: u64,
-    /// Representative serving window simulated per hour, seconds.
-    pub sim_window_s: f64,
+    /// Control-plane cadence, seconds: the monitor/scaler/scheduler loop
+    /// ticks once per epoch. Must evenly divide one hour (the trace's
+    /// sample period). Default: 3600, the paper's hourly loop.
+    pub control_epoch_s: f64,
+    /// How much of each epoch the serving simulator runs (default: the
+    /// paper's 240 s representative window, extrapolated).
+    pub fidelity: Fidelity,
     /// SLA headroom multiplier over the measured BASE p95.
     pub sla_headroom: f64,
     /// Carbon-monitor re-optimization threshold (paper: 5%).
@@ -109,11 +120,13 @@ impl ExperimentConfig {
                 accuracy_floor_pct: None,
                 utilization_target: 0.65,
                 seed: 42,
-                sim_window_s: 240.0,
+                control_epoch_s: 3600.0,
+                fidelity: Fidelity::representative(),
                 sla_headroom: 1.05,
                 monitor_threshold: CarbonMonitor::DEFAULT_THRESHOLD,
                 sa: SaParams::default(),
             },
+            window_override: None,
         }
     }
 }
@@ -121,6 +134,9 @@ impl ExperimentConfig {
 /// Builder for [`ExperimentConfig`].
 pub struct ExperimentConfigBuilder {
     cfg: ExperimentConfig,
+    /// Explicit `sim_window_s` override, reconciled with the fidelity at
+    /// build time (so setter order cannot silently drop either knob).
+    window_override: Option<f64>,
 }
 
 impl ExperimentConfigBuilder {
@@ -208,9 +224,27 @@ impl ExperimentConfigBuilder {
         self
     }
 
-    /// Sets the per-hour representative window (seconds).
+    /// Sets the representative serving window simulated per epoch
+    /// (seconds). Only meaningful under
+    /// [`Fidelity::RepresentativeWindow`]; combining it with
+    /// [`Fidelity::FullEpoch`] is rejected at [`Self::build`] — the full
+    /// epoch *is* the window there.
     pub fn sim_window_s(mut self, s: f64) -> Self {
-        self.cfg.sim_window_s = s;
+        self.window_override = Some(s);
+        self
+    }
+
+    /// Sets the control-plane cadence (seconds; must evenly divide one
+    /// hour). Default: 3600, the paper's hourly loop.
+    pub fn control_epoch_s(mut self, s: f64) -> Self {
+        self.cfg.control_epoch_s = s;
+        self
+    }
+
+    /// Sets the serving-simulation fidelity (default: the paper's 240 s
+    /// representative window).
+    pub fn fidelity(mut self, f: Fidelity) -> Self {
+        self.cfg.fidelity = f;
         self
     }
 
@@ -226,15 +260,48 @@ impl ExperimentConfigBuilder {
     /// Panics with a descriptive message when the configuration is
     /// internally inconsistent: zero GPUs or horizon, an objective weight
     /// λ outside `(0, 1]`, a scaling floor above the fleet size, a
-    /// non-positive SLA headroom or serving window, or provisioning *more*
-    /// GPUs than the reference the workload and baseline are derived on.
-    /// (The reverse — `reference_gpus > n_gpus` — is the paper's Fig. 15
+    /// non-positive SLA headroom or serving window, a control epoch that
+    /// does not evenly divide one hour, a representative window longer
+    /// than its epoch, a `sim_window_s` override under
+    /// [`Fidelity::FullEpoch`], or provisioning *more* GPUs than the
+    /// reference the workload and baseline are derived on. (The reverse —
+    /// `reference_gpus > n_gpus` — is the paper's Fig. 15
     /// reduced-provisioning setup and stays valid.)
     pub fn build(mut self) -> ExperimentConfig {
         if self.cfg.reference_gpus == 0 {
             self.cfg.reference_gpus = self.cfg.n_gpus;
         }
+        // Reconcile the window override with the fidelity, independent of
+        // setter order: an override refines the representative window and
+        // contradicts FullEpoch (which measures the whole epoch).
+        match (&self.cfg.fidelity, self.window_override) {
+            (Fidelity::RepresentativeWindow { .. }, Some(w)) => {
+                self.cfg.fidelity = Fidelity::RepresentativeWindow { window_s: w };
+            }
+            (Fidelity::FullEpoch, Some(w)) => panic!(
+                "experiment config: sim_window_s ({w}) override is meaningless under FullEpoch \
+                 fidelity — the whole control epoch is simulated, there is no representative \
+                 window to size (drop the override or use Fidelity::RepresentativeWindow)"
+            ),
+            (_, None) => {}
+        }
         let cfg = &self.cfg;
+        // Positive + evenly divides one hour, with the control module's
+        // canonical message.
+        let _ = per_hour_or_panic(cfg.control_epoch_s);
+        if let Fidelity::RepresentativeWindow { window_s } = cfg.fidelity {
+            assert!(
+                window_s > 0.0,
+                "experiment config: sim_window_s must be positive, got {window_s}"
+            );
+            assert!(
+                window_s <= cfg.control_epoch_s,
+                "experiment config: representative window ({window_s} s) exceeds the control \
+                 epoch ({} s); a window cannot extrapolate an epoch shorter than itself — shrink \
+                 the window or use Fidelity::FullEpoch",
+                cfg.control_epoch_s
+            );
+        }
         assert!(cfg.n_gpus > 0, "experiment config: n_gpus must be positive");
         assert!(
             cfg.horizon_hours > 0.0,
@@ -263,11 +330,6 @@ impl ExperimentConfigBuilder {
             cfg.n_gpus
         );
         assert!(
-            cfg.sim_window_s > 0.0,
-            "experiment config: sim_window_s must be positive, got {}",
-            cfg.sim_window_s
-        );
-        assert!(
             cfg.sla_headroom >= 1.0,
             "experiment config: sla_headroom below 1 ({}) would demand a tighter tail than the \
              BASE reference itself measured",
@@ -277,12 +339,16 @@ impl ExperimentConfigBuilder {
     }
 }
 
-/// One hour of the run timeline (Fig. 11's series).
+/// One control epoch of the run timeline (Fig. 11's series; one entry per
+/// hour under the default hourly cadence, finer under sub-hour epochs).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct HourPoint {
-    /// Hour index from the start of the trace.
+    /// Trace hour containing this epoch's start.
     pub hour: u32,
-    /// GPUs actively serving this hour (equals the provisioned count
+    /// Epoch start, hours from the start of the run (equals `hour` under
+    /// the default hourly cadence).
+    pub t_hours: f64,
+    /// GPUs actively serving this epoch (equals the provisioned count
     /// without autoscaling).
     pub active_gpus: u32,
     /// Carbon intensity during the hour, gCO₂/kWh.
@@ -323,6 +389,10 @@ pub struct ExperimentOutcome {
     pub workload: String,
     /// Autoscaling policy label.
     pub scaling: String,
+    /// Serving-simulation fidelity label (`"window"` / `"full-epoch"`).
+    pub fidelity: String,
+    /// Control-plane cadence, seconds.
+    pub control_epoch_s: f64,
     /// Provisioned GPUs.
     pub n_gpus: usize,
     /// Time-averaged actively serving GPUs over the horizon (equals
@@ -370,7 +440,7 @@ pub struct ExperimentOutcome {
     /// window of the run (serving hours, evaluation windows, and the BASE
     /// reference) — the workload denominator for events/sec reporting.
     pub sim_events: u64,
-    /// Per-hour timeline.
+    /// Per-epoch timeline (hourly under the default cadence).
     pub timeline: Vec<HourPoint>,
     /// Optimization invocations.
     pub invocations: Vec<InvocationRecord>,
@@ -383,10 +453,16 @@ impl ExperimentOutcome {
     }
 
     /// An order-sensitive 64-bit digest over the outcome's numeric results
-    /// (bit patterns, not rounded values): totals, per-hour timeline and
+    /// (bit patterns, not rounded values): totals, per-epoch timeline and
     /// invocation bookkeeping. Two outcomes digest equal iff the runs were
     /// numerically identical — the cheap way to pin that a parallel grid
     /// reproduced its serial reference byte for byte.
+    ///
+    /// The fed field set is frozen at the pre-control-plane one (newer
+    /// fields like `t_hours` or the fidelity/cadence labels are derived
+    /// from what is already eaten), so default-configuration digests stay
+    /// comparable across the refactor — `tests/control_plane.rs` pins them
+    /// against values recorded before the extraction.
     pub fn digest(&self) -> u64 {
         // FNV-1a over the f64 bit patterns and counters.
         let mut h = 0xCBF2_9CE4_8422_2325u64;
@@ -580,24 +656,32 @@ impl Experiment {
     }
 
     /// Runs the experiment (scheme plus the synchronized BASE reference).
+    ///
+    /// Each [`crate::control::ControlEpoch`] of the schedule is one
+    /// `begin_epoch` → serve → `observe_serving` round trip through the
+    /// [`ControlPlane`]; this method owns only the accounting (ledgers,
+    /// histograms, timeline). Under the default configuration (hourly
+    /// epochs, representative window) the numbers are bit-identical to the
+    /// pre-extraction hourly loop (pinned by `tests/control_plane.rs`).
     pub fn run(&self) -> ExperimentOutcome {
         let cfg = &self.cfg;
-        let hours = cfg.horizon_hours.ceil() as u32;
-        let window = SimDuration::from_secs(cfg.sim_window_s);
-        let warmup = SimDuration::from_secs((cfg.sim_window_s * 0.05).clamp(1.0, 8.0));
-        let scale = 3600.0 / cfg.sim_window_s;
+        let schedule = EpochSchedule::new(cfg.horizon_hours, cfg.control_epoch_s);
+        let epochs = schedule.count();
+        let epoch_len = schedule.epoch_len();
+        let epoch_hours = schedule.epoch_hours();
+        let wp = cfg.fidelity.window_plan(epoch_len);
 
         let initial = Deployment::base(&self.family, cfg.n_gpus);
-        let mut scheduler = make_scheduler(cfg.scheme, &self.family, cfg.n_gpus, cfg.sa);
-        let mut evaluator = DesEvaluator::new(
+        let scheduler = make_scheduler(&cfg.scheme, &self.family, cfg.n_gpus, cfg.sa);
+        let evaluator = DesEvaluator::new(
             self.family.clone(),
             self.perf,
             self.rate_rps,
             initial.clone(),
             cfg.seed ^ 0xE7A1,
         );
-        let mut monitor = CarbonMonitor::new(self.trace.clone(), cfg.monitor_threshold);
-        let mut rng = SimRng::new(cfg.seed ^ 0x5C8E);
+        let monitor = CarbonMonitor::new(self.trace.clone(), cfg.monitor_threshold);
+        let rng = SimRng::new(cfg.seed ^ 0x5C8E);
         let pue = Pue::PAPER_DEFAULT;
         let mut ledger = CarbonLedger::new(self.trace.clone(), pue);
         let mut base_ledger = CarbonLedger::new(self.trace.clone(), pue);
@@ -619,13 +703,10 @@ impl Experiment {
         let mut base_served_scaled = 0.0f64;
         let mut sim_events = 0u64;
         let mut optimization_time_s = 0.0f64;
-        let mut timeline = Vec::with_capacity(hours as usize);
+        let mut timeline = Vec::with_capacity(epochs as usize);
         let mut invocations = Vec::new();
-        // The paper re-invokes optimization on SLA violations as well as
-        // carbon-intensity drift (Sec. 4.2's re-invocation triggers).
-        let mut sla_violated_last_hour = false;
 
-        // The elastic fleet: one scaler decision per hourly epoch. Under
+        // The elastic fleet: one scaler decision per control epoch. Under
         // the default Static policy this collapses to the paper's fixed
         // fleet (all GPUs active, zero standby charge, identical numbers).
         let mut scaler_cfg = ScalerConfig::new(
@@ -635,69 +716,57 @@ impl Experiment {
             self.capacity_per_gpu_rps,
         );
         scaler_cfg.target_utilization = cfg.utilization_target;
-        let mut scaler = Scaler::new(scaler_cfg);
-        let mut active_gpus = cfg.n_gpus;
+        let scaler = Scaler::new(scaler_cfg);
+
+        let mut plane = ControlPlane::new(scheduler, monitor, scaler, evaluator, rng);
+        let env = PlaneEnv {
+            family: &self.family,
+            perf: &self.perf,
+            objective: &self.objective,
+            workload: &self.workload,
+        };
         let mut active_gpu_hours = 0.0f64;
 
-        for hour in 0..hours {
-            let t = SimTime::from_hours(hour as f64);
-            let event = monitor.observe(t);
-            let ci = event.current;
+        for epoch in schedule.iter() {
+            let t = epoch.start;
+            let plan = plane.begin_epoch(&epoch, &env);
+            let ci = plan.ci;
+            let fleet = plan.fleet;
+            active_gpu_hours += fleet.active as f64 * epoch_hours;
 
-            let fleet = scaler.step(t, &self.workload.forecast());
-            let fleet_changed = fleet.active != active_gpus;
-            active_gpus = fleet.active;
-            active_gpu_hours += fleet.active as f64;
-
-            if hour == 0 || event.triggered || sla_violated_last_hour || fleet_changed {
-                // Candidates are evaluated at the demand the workload
-                // forecasts for this hour (the constant offered rate under
-                // the paper's Poisson workload; floored above zero so the
-                // measurement windows stay well-defined when a trace has
-                // run dry).
-                evaluator.rate_rps = self.workload.planning_rate_at(t);
-                let mut ctx = SchedulerCtx {
-                    family: &self.family,
-                    perf: &self.perf,
-                    objective: &self.objective,
-                    ci,
-                    now: t,
-                    active_gpus,
-                    workload: &self.workload,
-                    evaluator: &mut evaluator,
-                    rng: &mut rng,
-                };
-                let decision = scheduler.reoptimize(&mut ctx);
-                monitor.acknowledge(ci);
-                if let Some(run) = decision.run {
-                    optimization_time_s += run.time_spent_s;
-                    invocations.push(InvocationRecord {
-                        at_hours: hour as f64,
-                        time_spent_s: run.time_spent_s,
-                        evals: run.evals,
-                    });
-                    // Exploration traffic is real traffic: fold it in 1:1.
-                    for w in evaluator.take_window_log() {
-                        sim_events += w.sim_events;
-                        Self::accumulate(
-                            &mut ledger,
-                            &mut hist,
-                            &mut per_variant,
-                            &mut served_scaled,
-                            t,
-                            &w,
-                            1.0,
-                        );
-                    }
-                }
-                evaluator.apply(decision.deployment.clone());
-                sim.set_deployment(decision.deployment);
+            if let Some(run) = plan.run {
+                optimization_time_s += run.time_spent_s;
+                invocations.push(InvocationRecord {
+                    at_hours: epoch.start_hours(),
+                    time_spent_s: run.time_spent_s,
+                    evals: run.evals,
+                });
+            }
+            // Exploration traffic is real traffic: fold it in 1:1 — also
+            // for schemes that measure candidates without reporting an
+            // optimization run (the windows were still served live).
+            for w in &plan.eval_windows {
+                sim_events += w.sim_events;
+                Self::accumulate(
+                    &mut ledger,
+                    &mut hist,
+                    &mut per_variant,
+                    &mut served_scaled,
+                    t,
+                    w,
+                    1.0,
+                );
+            }
+            if let Some(deployment) = plan.deployment {
+                sim.set_deployment(deployment);
             }
 
-            // Representative serving window for this hour, driven by the
-            // workload's arrival process anchored at the hour's start.
+            // The epoch's serving measurement — a representative window
+            // extrapolated to the epoch, or the full epoch, per the
+            // configured fidelity — driven by the workload's arrival
+            // process anchored at the epoch's start.
             let mut arrivals = self.workload.process_from(t);
-            let w = sim.run_window_with(arrivals.as_mut(), window, warmup);
+            let w = sim.run_window_with(arrivals.as_mut(), wp.window, wp.warmup);
             sim_events += w.sim_events;
             Self::accumulate(
                 &mut ledger,
@@ -706,7 +775,7 @@ impl Experiment {
                 &mut served_scaled,
                 t,
                 &w,
-                scale,
+                wp.scale,
             );
 
             // GPUs the scaler holds out of the deployment still cost power:
@@ -717,52 +786,64 @@ impl Experiment {
             // active fleet's static/idle/dynamic draw.
             let overhead_w = fleet.off as f64 * self.perf.power.standby_gpu_w()
                 + fleet.warming as f64 * self.perf.power.gpu_static_w();
-            ledger.record_power(t, SimDuration::from_hours(1.0), overhead_w);
+            ledger.record_power(t, epoch_len, overhead_w);
+            // Draining boards are the honest scale-down transition cost:
+            // still powered while in-flight work empties, admitting
+            // nothing, until the next epoch boundary confirms them empty.
+            // The draw is modeled as the static floor plus a fully
+            // allocated board's idle residual (one G7 slice) — the
+            // retired board's exact partitioning is no longer tracked
+            // once it leaves the deployment, and the full-allocation
+            // residual is the conservative bound. Sub-hour epochs
+            // shorten exactly this window.
+            if fleet.draining > 0 {
+                let drain_w = fleet.draining as f64
+                    * (self.perf.power.gpu_static_w()
+                        + self.perf.power.idle_slice_w(SliceType::G7));
+                ledger.record_power(t, epoch_len, drain_w);
+            }
 
-            // A silent hour has no measured tail: it must not count as an
-            // SLA violation (nor spuriously pass one — `p95_latency_s` is
-            // `None`, not 0.0, for zero-served windows).
-            sla_violated_last_hour = w.p95_latency_s.is_some_and(|p| p > self.objective.l_tail_s)
-                && self.cfg.scheme.is_carbon_aware();
-            let hour_acc = w
+            plane.observe_serving(&epoch, &w, &env);
+            let epoch_acc = w
                 .accuracy_pct(&self.family)
                 .unwrap_or(self.family.accuracy_base());
-            let hour_energy = w.energy_per_request_j().unwrap_or(f64::NAN);
-            let hour_p95 = w.p95_latency_s.unwrap_or(f64::NAN);
-            // An hour that served nothing (e.g. a non-looping trace that
+            let epoch_energy = w.energy_per_request_j().unwrap_or(f64::NAN);
+            let epoch_p95 = w.p95_latency_s.unwrap_or(f64::NAN);
+            // An epoch that served nothing (e.g. a non-looping trace that
             // ran dry mid-horizon) has no per-request metrics; its
             // timeline entries stay NaN instead of reaching the objective.
-            let (objective_f, carbon_save_pct) = if hour_energy.is_finite() {
+            let (objective_f, carbon_save_pct) = if epoch_energy.is_finite() {
                 let point = MeasuredPoint {
-                    accuracy_pct: hour_acc,
-                    energy_per_request_j: hour_energy,
-                    p95_latency_s: hour_p95,
+                    accuracy_pct: epoch_acc,
+                    energy_per_request_j: epoch_energy,
+                    p95_latency_s: epoch_p95,
                 };
                 (
                     self.objective.f(&point, ci),
-                    self.objective.delta_carbon_pct(hour_energy, ci),
+                    self.objective.delta_carbon_pct(epoch_energy, ci),
                 )
             } else {
                 (f64::NAN, f64::NAN)
             };
             timeline.push(HourPoint {
-                hour,
+                hour: epoch.trace_hour(),
+                t_hours: epoch.start_hours(),
                 active_gpus: fleet.active as u32,
                 ci_g_per_kwh: ci.g_per_kwh(),
                 objective_f,
-                accuracy_pct: hour_acc,
-                p95_s: hour_p95,
-                energy_per_request_j: hour_energy,
+                accuracy_pct: epoch_acc,
+                p95_s: epoch_p95,
+                energy_per_request_j: epoch_energy,
                 carbon_save_pct,
             });
 
-            // Synchronized BASE reference hour, under the same workload.
+            // Synchronized BASE reference epoch, under the same workload.
             let mut base_arrivals = self.workload.process_from(t);
-            let bw = base_sim.run_window_with(base_arrivals.as_mut(), window, warmup);
+            let bw = base_sim.run_window_with(base_arrivals.as_mut(), wp.window, wp.warmup);
             sim_events += bw.sim_events;
-            base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * scale));
+            base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * wp.scale));
             base_hist.merge(&bw.latency_hist);
-            base_served_scaled += bw.served as f64 * scale;
+            base_served_scaled += bw.served as f64 * wp.scale;
         }
 
         let total_carbon_g = ledger.carbon().grams();
@@ -812,8 +893,10 @@ impl Experiment {
             },
             workload: self.workload.label().to_string(),
             scaling: cfg.scaling.label().to_string(),
+            fidelity: cfg.fidelity.label().to_string(),
+            control_epoch_s: cfg.control_epoch_s,
             n_gpus: cfg.n_gpus,
-            mean_active_gpus: active_gpu_hours / f64::from(hours.max(1)),
+            mean_active_gpus: active_gpu_hours / (f64::from(epochs.max(1)) * epoch_hours),
             lambda: cfg.lambda,
             horizon_hours: cfg.horizon_hours,
             rate_rps: self.rate_rps,
@@ -1009,5 +1092,78 @@ mod tests {
         assert_eq!(out.scaling, "static");
         assert_eq!(out.mean_active_gpus, 4.0);
         assert!(out.timeline.iter().all(|h| h.active_gpus == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "evenly divide one hour")]
+    fn ragged_control_epoch_rejected() {
+        // 700 s epochs would straddle the hourly carbon-trace samples.
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .control_epoch_s(700.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn nonpositive_control_epoch_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .control_epoch_s(0.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless under FullEpoch")]
+    fn window_override_under_full_epoch_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .sim_window_s(20.0)
+            .fidelity(Fidelity::FullEpoch)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless under FullEpoch")]
+    fn window_override_under_full_epoch_rejected_either_order() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .fidelity(Fidelity::FullEpoch)
+            .sim_window_s(20.0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the control epoch")]
+    fn window_longer_than_its_epoch_rejected() {
+        // The paper's default 240 s window cannot extrapolate a 60 s epoch.
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .control_epoch_s(60.0)
+            .build();
+    }
+
+    #[test]
+    fn sub_hour_epochs_and_overrides_reconcile() {
+        // A valid sub-hour cadence keeps the default window when it fits.
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .control_epoch_s(600.0)
+            .build();
+        assert_eq!(cfg.control_epoch_s, 600.0);
+        assert_eq!(
+            cfg.fidelity,
+            Fidelity::RepresentativeWindow { window_s: 240.0 }
+        );
+        // An explicit window override wins over a fidelity-set window,
+        // regardless of setter order.
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .fidelity(Fidelity::RepresentativeWindow { window_s: 60.0 })
+            .sim_window_s(30.0)
+            .build();
+        assert_eq!(
+            cfg.fidelity,
+            Fidelity::RepresentativeWindow { window_s: 30.0 }
+        );
+        // FullEpoch with no override is the supported burst path.
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .control_epoch_s(900.0)
+            .fidelity(Fidelity::FullEpoch)
+            .build();
+        assert_eq!(cfg.fidelity, Fidelity::FullEpoch);
     }
 }

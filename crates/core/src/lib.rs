@@ -11,14 +11,20 @@
 //!   cooling 0.05/iteration to 0.1, 5-minute budget, 5-non-improving stop).
 //! - [`eval`] — live candidate evaluation on the serving simulator, with
 //!   reconfiguration downtime charged.
-//! - [`schedulers`] — BASE, CO2OPT, BLOVER, CLOVER and ORACLE, each
+//! - [`schedulers`] — the scheme surface: the [`Scheduler`] lifecycle
+//!   (`plan`/`observe`), the name-keyed [`SchedulerRegistry`] with the five
+//!   paper schemes (BASE, CO2OPT, BLOVER, CLOVER, ORACLE) built in, each
 //!   partitioning whatever fleet the autoscaler has active.
 //! - [`autoscale`] — the elastic-fleet layer beyond the paper: a
 //!   forecast-driven [`Scaler`] that powers GPUs up and down ahead of
-//!   demand swings, with hysteresis, cooldown and provisioning delay.
+//!   demand swings, with hysteresis, cooldown, provisioning delay and a
+//!   scale-down drain window.
+//! - [`control`] — the control plane: [`ControlEpoch`] cadence (sub-hour
+//!   capable), serving [`Fidelity`] (representative window vs full epoch),
+//!   and the monitor → scaler → scheduler loop as a stepped API.
 //! - [`experiment`] — the 48-hour evaluation runtime reproducing the
 //!   paper's Sec. 5 methodology, including the synchronized BASE reference
-//!   and the per-hour scaling/standby carbon accounting.
+//!   and the per-epoch scaling/standby carbon accounting.
 //!
 //! See `docs/architecture.md` at the workspace root for how these modules
 //! sit in the full pipeline, and `docs/parallel-engine.md` for how
@@ -28,6 +34,7 @@
 
 pub mod anneal;
 pub mod autoscale;
+pub mod control;
 pub mod eval;
 pub mod experiment;
 pub mod graph;
@@ -37,9 +44,13 @@ pub mod schedulers;
 
 pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams};
 pub use autoscale::{FleetState, Scaler, ScalerConfig, ScalingPolicy};
+pub use control::{ControlEpoch, ControlPlane, EpochSchedule, Fidelity, PlaneEnv, WindowPlan};
 pub use eval::DesEvaluator;
 pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, TraceSource};
 pub use graph::ConfigGraph;
 pub use neighbors::NeighborSampler;
 pub use objective::{MeasuredPoint, Objective};
-pub use schedulers::{make_scheduler, Decision, Scheduler, SchedulerCtx, SchemeKind};
+pub use schedulers::{
+    make_scheduler, register_scheduler, registered_schemes, try_make_scheduler, Decision,
+    Observation, Scheduler, SchedulerCtx, SchedulerInit, SchedulerRegistry, SchemeKind,
+};

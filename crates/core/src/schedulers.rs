@@ -1,4 +1,6 @@
-//! The competing scheduling schemes of the paper's evaluation (Sec. 5.1).
+//! The scheduling schemes and the open scheduler surface.
+//!
+//! The paper's five schemes (Sec. 5.1) are built in:
 //!
 //! - **BASE** — highest-quality variant on every unpartitioned GPU; never
 //!   reconfigures. The accuracy/carbon baseline.
@@ -14,7 +16,20 @@
 //!   configurations (same MIG configuration and variant multiset on every
 //!   GPU, as the paper does to bound the search space); switches instantly
 //!   and at zero charged cost to the objective-maximizing SLA-compliant
-//!   entry whenever the carbon intensity changes.
+//!   entry whenever the carbon intensity changes. Profiles are kept per
+//!   (fleet size, forecast-rate band); a band's table is built the first
+//!   time planning lands in it, measured at demand already *observed* in
+//!   that band when the [`Scheduler::observe`] feedback hook has seen any
+//!   (the forecast rate otherwise). Once built, a table is cached for the
+//!   run — there is deliberately no drift-triggered rebuild.
+//!
+//! Beyond the paper, the scheme surface is **open**: a [`Scheduler`] is a
+//! lifecycle object ([`Scheduler::plan`] at each control invocation,
+//! [`Scheduler::observe`] after each served epoch), constructed by a
+//! name-keyed [`SchedulerRegistry`]. The five builtins are pre-registered;
+//! new schemes plug in with [`register_scheduler`] and are addressed from
+//! experiment configs as [`SchemeKind::Custom`] — no enum to extend, no
+//! core crate to fork. See `docs/control-plane.md`.
 
 use crate::anneal::{anneal, OptimizationRun, SaParams};
 use crate::eval::DesEvaluator;
@@ -23,14 +38,16 @@ use crate::objective::{MeasuredPoint, Objective};
 use clover_carbon::CarbonIntensity;
 use clover_mig::{MigConfig, Partitioning, SliceType};
 use clover_models::{ModelFamily, PerfModel, VariantId};
-use clover_serving::{Deployment, ServingSim};
+use clover_serving::{Deployment, ServingSim, WindowMetrics};
 use clover_simkit::{SimDuration, SimRng, SimTime};
 use clover_workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
 
-/// The five schemes compared in the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// A scheme reference: one of the paper's five, or any scheme registered in
+/// the [`SchedulerRegistry`] by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum SchemeKind {
     /// Highest-quality model, unpartitioned GPUs, carbon-unaware.
     Base,
@@ -42,10 +59,13 @@ pub enum SchemeKind {
     Clover,
     /// Exhaustive offline profiling with instant switching.
     Oracle,
+    /// A scheme registered in the [`SchedulerRegistry`] under this name
+    /// (the open end of the scheme surface).
+    Custom(String),
 }
 
 impl SchemeKind {
-    /// All schemes, in the paper's presentation order.
+    /// The paper's five schemes, in presentation order.
     pub const ALL: [SchemeKind; 5] = [
         SchemeKind::Base,
         SchemeKind::Co2Opt,
@@ -54,23 +74,40 @@ impl SchemeKind {
         SchemeKind::Oracle,
     ];
 
-    /// Display name as used in the paper's figures.
-    pub fn label(self) -> &'static str {
+    /// Display name as used in the paper's figures — and the key the
+    /// scheduler registry resolves the scheme by.
+    pub fn label(&self) -> &str {
         match self {
             SchemeKind::Base => "BASE",
             SchemeKind::Co2Opt => "CO2OPT",
             SchemeKind::Blover => "BLOVER",
             SchemeKind::Clover => "CLOVER",
             SchemeKind::Oracle => "ORACLE",
+            SchemeKind::Custom(name) => name,
         }
     }
 
-    /// Whether the scheme reacts to carbon-intensity changes.
-    pub fn is_carbon_aware(self) -> bool {
-        matches!(
-            self,
-            SchemeKind::Blover | SchemeKind::Clover | SchemeKind::Oracle
-        )
+    /// Resolves a scheme by name: the five paper schemes by their labels
+    /// (case-insensitive), anything else as a [`SchemeKind::Custom`]
+    /// registry reference. This is how the bench harness and figure
+    /// binaries look schemes up.
+    pub fn parse(name: &str) -> SchemeKind {
+        match name.to_ascii_uppercase().as_str() {
+            "BASE" => SchemeKind::Base,
+            "CO2OPT" => SchemeKind::Co2Opt,
+            "BLOVER" => SchemeKind::Blover,
+            "CLOVER" => SchemeKind::Clover,
+            "ORACLE" => SchemeKind::Oracle,
+            _ => SchemeKind::Custom(name.to_string()),
+        }
+    }
+
+    /// Whether the scheme reacts to carbon-intensity changes. For
+    /// [`SchemeKind::Custom`] this is conservatively `true`; the
+    /// authoritative answer is [`Scheduler::carbon_aware`] on the
+    /// constructed instance.
+    pub fn is_carbon_aware(&self) -> bool {
+        !matches!(self, SchemeKind::Base | SchemeKind::Co2Opt)
     }
 }
 
@@ -80,7 +117,13 @@ impl fmt::Display for SchemeKind {
     }
 }
 
-/// What a scheduler returns from one invocation.
+impl From<&str> for SchemeKind {
+    fn from(name: &str) -> Self {
+        SchemeKind::parse(name)
+    }
+}
+
+/// What a scheduler returns from one planning invocation.
 pub struct Decision {
     /// The configuration to apply for the coming period.
     pub deployment: Deployment,
@@ -89,7 +132,7 @@ pub struct Decision {
     pub run: Option<OptimizationRun>,
 }
 
-/// Everything a scheduler sees at invocation time.
+/// Everything a scheduler sees at planning time.
 pub struct SchedulerCtx<'a> {
     /// The application's model family.
     pub family: &'a ModelFamily,
@@ -106,7 +149,8 @@ pub struct SchedulerCtx<'a> {
     /// autoscaling the two are equal).
     pub active_gpus: usize,
     /// The offered workload; schedulers query its demand forecast
-    /// (`rate_at`, `windowed_mean`) to plan for the coming period.
+    /// (`rate_at`, `windowed_mean`, `rate_band`) to plan for the coming
+    /// period.
     pub workload: &'a Workload,
     /// Live evaluator (charged measurement windows).
     pub evaluator: &'a mut DesEvaluator,
@@ -114,41 +158,261 @@ pub struct SchedulerCtx<'a> {
     pub rng: &'a mut SimRng,
 }
 
-/// A scheme's re-optimization behavior.
-pub trait Scheduler {
-    /// Which scheme this is.
-    fn kind(&self) -> SchemeKind;
-
-    /// Invoked at start-up and whenever the carbon monitor triggers.
-    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision;
+/// What a scheduler is shown after an epoch has actually been served: the
+/// measured window, where and when it was taken, and the workload for
+/// demand banding. This is the feedback half of the scheduler lifecycle —
+/// pure observation, never a chance to change the running configuration.
+pub struct Observation<'a> {
+    /// Serving metrics of the epoch's measured window (representative
+    /// window or the full epoch, per the experiment's fidelity).
+    pub metrics: &'a WindowMetrics,
+    /// Epoch start on the global clock.
+    pub at: SimTime,
+    /// GPUs that were actively serving the window.
+    pub active_gpus: usize,
+    /// The offered workload (forecast view for rate banding).
+    pub workload: &'a Workload,
 }
 
-/// Constructs the scheduler for a scheme over `n_gpus` GPUs.
+impl Observation<'_> {
+    /// Mean measured arrival rate over the window, req/s (`None` for an
+    /// empty or zero-length window).
+    pub fn observed_rps(&self) -> Option<f64> {
+        if self.metrics.span_s > 0.0 && self.metrics.arrived > 0 {
+            Some(self.metrics.arrived as f64 / self.metrics.span_s)
+        } else {
+            None
+        }
+    }
+}
+
+/// A scheme's control-plane lifecycle.
+///
+/// The experiment runtime invokes [`Scheduler::plan`] at start-up and
+/// whenever a control trigger fires (carbon drift, SLA violation, fleet
+/// resize), and [`Scheduler::observe`] after every served epoch. `observe`
+/// is how a scheme learns from measurements it did not pay for — ORACLE
+/// uses it to keep its offline profiles indexed near observed demand.
+pub trait Scheduler {
+    /// The scheme's display name (the registry key it was built under).
+    fn name(&self) -> &str;
+
+    /// Whether the scheme reacts to carbon-intensity changes; SLA
+    /// violations re-trigger planning only for carbon-aware schemes (the
+    /// paper's static baselines never re-plan).
+    fn carbon_aware(&self) -> bool {
+        true
+    }
+
+    /// Chooses the configuration for the coming control period.
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision;
+
+    /// Feedback after an epoch was served with the planned configuration.
+    /// Default: ignore it.
+    fn observe(&mut self, obs: &Observation<'_>) {
+        let _ = obs;
+    }
+}
+
+/// Construction context a [`SchedulerRegistry`] factory receives.
+pub struct SchedulerInit<'a> {
+    /// The application's model family.
+    pub family: &'a ModelFamily,
+    /// Provisioned fleet size (the scheme re-plans when the autoscaler
+    /// resizes the active fleet below this).
+    pub n_gpus: usize,
+    /// Simulated-annealing parameters (searching schemes).
+    pub sa: SaParams,
+}
+
+/// A factory producing a fresh scheduler instance per experiment.
+pub type SchedulerFactory = dyn Fn(&SchedulerInit<'_>) -> Box<dyn Scheduler> + Send + Sync;
+
+/// Error: a scheme name no registry entry answers to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScheme {
+    /// The name that failed to resolve.
+    pub name: String,
+    /// Every name the registry does know, for the error message.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheduler scheme {:?}; registered schemes: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScheme {}
+
+/// Error: registering a name that is already taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicateScheme(pub String);
+
+impl fmt::Display for DuplicateScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scheduler scheme {:?} is already registered", self.0)
+    }
+}
+
+impl std::error::Error for DuplicateScheme {}
+
+/// Name-keyed scheme registry: the open replacement for the closed
+/// `match` over [`SchemeKind`]. Lookup is case-sensitive on the exact
+/// registered name (builtins use their paper labels, e.g. `"CLOVER"`).
+#[derive(Default)]
+pub struct SchedulerRegistry {
+    entries: Vec<(String, Arc<SchedulerFactory>)>,
+}
+
+impl SchedulerRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the paper's five schemes under their
+    /// figure labels.
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("BASE", |init| {
+            Box::new(StaticScheduler {
+                kind: SchemeKind::Base,
+                deployment: Deployment::base(init.family, init.n_gpus),
+            })
+        })
+        .expect("empty registry");
+        reg.register("CO2OPT", |init| {
+            Box::new(StaticScheduler {
+                kind: SchemeKind::Co2Opt,
+                deployment: Deployment::co2opt(init.family, init.n_gpus),
+            })
+        })
+        .expect("fresh name");
+        reg.register("BLOVER", |init| {
+            Box::new(BloverScheduler { params: init.sa })
+        })
+        .expect("fresh name");
+        reg.register("CLOVER", |init| {
+            Box::new(CloverScheduler {
+                best: Deployment::base(init.family, init.n_gpus),
+                params: init.sa,
+                sampler: NeighborSampler::default(),
+            })
+        })
+        .expect("fresh name");
+        reg.register("ORACLE", |_| Box::new(OracleScheduler::new()))
+            .expect("fresh name");
+        reg
+    }
+
+    /// Registers a scheme under `name`. Fails (leaving the registry
+    /// unchanged) when the name is already taken — schemes are identities,
+    /// silently shadowing one would corrupt every config referring to it.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(&SchedulerInit<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+    ) -> Result<(), DuplicateScheme> {
+        let name = name.into();
+        if self.contains(&name) {
+            return Err(DuplicateScheme(name));
+        }
+        self.entries.push((name, Arc::new(factory)));
+        Ok(())
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Builds a fresh scheduler instance for `name`.
+    pub fn build(
+        &self,
+        name: &str,
+        init: &SchedulerInit<'_>,
+    ) -> Result<Box<dyn Scheduler>, UnknownScheme> {
+        self.factory(name).map(|f| f(init))
+    }
+
+    /// The factory registered under `name`, shared.
+    fn factory(&self, name: &str) -> Result<Arc<SchedulerFactory>, UnknownScheme> {
+        match self.entries.iter().find(|(n, _)| n == name) {
+            Some((_, factory)) => Ok(Arc::clone(factory)),
+            None => Err(UnknownScheme {
+                name: name.to_string(),
+                known: self.names(),
+            }),
+        }
+    }
+}
+
+/// The process-wide registry experiments resolve schemes through,
+/// initialized with the five builtins on first use.
+fn global_registry() -> &'static RwLock<SchedulerRegistry> {
+    static GLOBAL: OnceLock<RwLock<SchedulerRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(SchedulerRegistry::with_builtins()))
+}
+
+/// Registers a scheme in the process-wide registry, making it addressable
+/// from any [`crate::experiment::ExperimentConfig`] as
+/// `SchemeKind::Custom(name)`.
+pub fn register_scheduler(
+    name: impl Into<String>,
+    factory: impl Fn(&SchedulerInit<'_>) -> Box<dyn Scheduler> + Send + Sync + 'static,
+) -> Result<(), DuplicateScheme> {
+    global_registry()
+        .write()
+        .expect("scheduler registry poisoned")
+        .register(name, factory)
+}
+
+/// The names currently registered in the process-wide registry.
+pub fn registered_schemes() -> Vec<String> {
+    global_registry()
+        .read()
+        .expect("scheduler registry poisoned")
+        .names()
+}
+
+/// Builds the scheduler for a scheme over `n_gpus` GPUs via the
+/// process-wide registry.
+pub fn try_make_scheduler(
+    kind: &SchemeKind,
+    family: &ModelFamily,
+    n_gpus: usize,
+    sa: SaParams,
+) -> Result<Box<dyn Scheduler>, UnknownScheme> {
+    // Resolve under the read lock, invoke after releasing it: a factory
+    // must be free to touch the registry itself (lazily registering a
+    // fallback, listing names) without self-deadlocking on the lock.
+    let factory = global_registry()
+        .read()
+        .expect("scheduler registry poisoned")
+        .factory(kind.label())?;
+    Ok(factory(&SchedulerInit { family, n_gpus, sa }))
+}
+
+/// Like [`try_make_scheduler`], panicking on an unknown name (the
+/// experiment runtime's path: an unresolvable config is a caller bug).
 pub fn make_scheduler(
-    kind: SchemeKind,
+    kind: &SchemeKind,
     family: &ModelFamily,
     n_gpus: usize,
     sa: SaParams,
 ) -> Box<dyn Scheduler> {
-    match kind {
-        SchemeKind::Base => Box::new(StaticScheduler {
-            kind,
-            deployment: Deployment::base(family, n_gpus),
-        }),
-        SchemeKind::Co2Opt => Box::new(StaticScheduler {
-            kind,
-            deployment: Deployment::co2opt(family, n_gpus),
-        }),
-        SchemeKind::Blover => Box::new(BloverScheduler { params: sa }),
-        SchemeKind::Clover => Box::new(CloverScheduler {
-            best: Deployment::base(family, n_gpus),
-            params: sa,
-            sampler: NeighborSampler::default(),
-        }),
-        SchemeKind::Oracle => Box::new(OracleScheduler {
-            profiles: Vec::new(),
-        }),
-    }
+    try_make_scheduler(kind, family, n_gpus, sa).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// BASE / CO2OPT: a fixed layout. The layout itself never changes, but the
@@ -160,11 +424,15 @@ struct StaticScheduler {
 }
 
 impl Scheduler for StaticScheduler {
-    fn kind(&self) -> SchemeKind {
-        self.kind
+    fn name(&self) -> &str {
+        self.kind.label()
     }
 
-    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+    fn carbon_aware(&self) -> bool {
+        false
+    }
+
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
         if self.deployment.n_gpus() != ctx.active_gpus {
             self.deployment = match self.kind {
                 SchemeKind::Base => Deployment::base(ctx.family, ctx.active_gpus),
@@ -219,11 +487,11 @@ struct BloverScheduler {
 }
 
 impl Scheduler for BloverScheduler {
-    fn kind(&self) -> SchemeKind {
-        SchemeKind::Blover
+    fn name(&self) -> &str {
+        "BLOVER"
     }
 
-    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
         let family = ctx.family.clone();
         let n_gpus = ctx.active_gpus;
         let evaluator = &mut *ctx.evaluator;
@@ -253,11 +521,11 @@ struct CloverScheduler {
 }
 
 impl Scheduler for CloverScheduler {
-    fn kind(&self) -> SchemeKind {
-        SchemeKind::Clover
+    fn name(&self) -> &str {
+        "CLOVER"
     }
 
-    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
         let family = ctx.family.clone();
         let sampler = self.sampler;
         let perf = *ctx.perf;
@@ -325,18 +593,49 @@ pub struct ProfiledConfig {
     pub point: MeasuredPoint,
 }
 
+/// Forecast-rate bands ORACLE indexes its offline profiles by.
+const ORACLE_RATE_BANDS: usize = 4;
+
+/// EWMA weight for the per-band observed-rate estimate.
+const OBSERVED_RATE_ALPHA: f64 = 0.3;
+
+/// One offline table: every standardized configuration over a fleet size,
+/// measured at a rate representative of one forecast band.
+struct OracleProfile {
+    n_gpus: usize,
+    band: usize,
+    configs: Vec<ProfiledConfig>,
+}
+
 /// ORACLE: exhaustive offline profile + instant argmax switching. Profiles
-/// are built per fleet size (lazily, first time a size is seen), since an
-/// autoscaled fleet changes the standardized space the oracle ranges over.
+/// are built lazily per (fleet size, forecast-rate band): an autoscaled
+/// fleet changes the standardized space the oracle ranges over, and a
+/// strongly diurnal workload moves the demand its measurements should be
+/// taken at. The [`Scheduler::observe`] hook feeds a per-band EWMA of the
+/// *measured* arrival rate, so a profile built after traffic has been seen
+/// in its band is measured near real demand rather than the forecast.
 struct OracleScheduler {
-    profiles: Vec<(usize, Vec<ProfiledConfig>)>,
+    profiles: Vec<OracleProfile>,
+    observed_rps: [Option<f64>; ORACLE_RATE_BANDS],
 }
 
 impl OracleScheduler {
-    /// Profiles every standardized configuration over `n_gpus` with a short
-    /// DES window. This is the paper's "approximately two weeks" of offline
-    /// work; it is not charged to the runtime.
-    fn build_profile(ctx: &mut SchedulerCtx<'_>, n_gpus: usize) -> Vec<ProfiledConfig> {
+    fn new() -> Self {
+        OracleScheduler {
+            profiles: Vec::new(),
+            observed_rps: [None; ORACLE_RATE_BANDS],
+        }
+    }
+
+    /// Profiles every standardized configuration over `n_gpus` at
+    /// `rate_rps` with a short DES window. This is the paper's
+    /// "approximately two weeks" of offline work; it is not charged to the
+    /// runtime.
+    fn build_profile(
+        ctx: &mut SchedulerCtx<'_>,
+        n_gpus: usize,
+        rate_rps: f64,
+    ) -> Vec<ProfiledConfig> {
         enumerate_standardized(ctx.family, n_gpus)
             .into_iter()
             .enumerate()
@@ -348,7 +647,7 @@ impl OracleScheduler {
                     0xACE1_u64.wrapping_add(i as u64),
                 );
                 let m = sim.run_window(
-                    ctx.evaluator.rate_rps,
+                    rate_rps,
                     SimDuration::from_secs(DesEvaluator::DEFAULT_WINDOW_S),
                     SimDuration::from_secs(DesEvaluator::DEFAULT_WARMUP_S),
                 );
@@ -366,21 +665,36 @@ impl OracleScheduler {
 }
 
 impl Scheduler for OracleScheduler {
-    fn kind(&self) -> SchemeKind {
-        SchemeKind::Oracle
+    fn name(&self) -> &str {
+        "ORACLE"
     }
 
-    fn reoptimize(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
         let n = ctx.active_gpus;
-        let idx = match self.profiles.iter().position(|(size, _)| *size == n) {
+        // The demand the experiment set the evaluator to plan against.
+        let plan_rate = ctx.evaluator.rate_rps;
+        let band = ctx.workload.rate_band(plan_rate, ORACLE_RATE_BANDS);
+        let idx = match self
+            .profiles
+            .iter()
+            .position(|p| p.n_gpus == n && p.band == band)
+        {
             Some(i) => i,
             None => {
-                let profile = Self::build_profile(ctx, n);
-                self.profiles.push((n, profile));
+                // Measure near current demand: prefer the band's observed
+                // arrival-rate EWMA (fed by `observe`) over the plan-time
+                // forecast, which is all that exists before first traffic.
+                let measure_rate = self.observed_rps[band].unwrap_or(plan_rate);
+                let configs = Self::build_profile(ctx, n, measure_rate);
+                self.profiles.push(OracleProfile {
+                    n_gpus: n,
+                    band,
+                    configs,
+                });
                 self.profiles.len() - 1
             }
         };
-        let profile = &self.profiles[idx].1;
+        let profile = &self.profiles[idx].configs;
         // Select with a safety margin: short profiling windows slightly
         // underestimate the long-run p95, and the oracle must never deploy
         // a violating configuration.
@@ -399,6 +713,18 @@ impl Scheduler for OracleScheduler {
             deployment: best.deployment.clone(),
             run: None,
         }
+    }
+
+    fn observe(&mut self, obs: &Observation<'_>) {
+        let Some(rate) = obs.observed_rps() else {
+            return;
+        };
+        let band = obs.workload.rate_band(rate, ORACLE_RATE_BANDS);
+        let slot = &mut self.observed_rps[band];
+        *slot = Some(match *slot {
+            Some(prev) => prev + OBSERVED_RATE_ALPHA * (rate - prev),
+            None => rate,
+        });
     }
 }
 
@@ -586,7 +912,8 @@ mod tests {
     fn static_schemes_never_change() {
         let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
         for kind in [SchemeKind::Base, SchemeKind::Co2Opt] {
-            let mut s = make_scheduler(kind, &fam, 2, SaParams::default());
+            let mut s = make_scheduler(&kind, &fam, 2, SaParams::default());
+            assert!(!s.carbon_aware());
             let mut ctx = SchedulerCtx {
                 family: &fam,
                 perf: &perf,
@@ -598,7 +925,7 @@ mod tests {
                 evaluator: &mut evaluator,
                 rng: &mut rng,
             };
-            let d1 = s.reoptimize(&mut ctx);
+            let d1 = s.plan(&mut ctx);
             let mut ctx2 = SchedulerCtx {
                 family: &fam,
                 perf: &perf,
@@ -610,7 +937,7 @@ mod tests {
                 evaluator: &mut evaluator,
                 rng: &mut rng,
             };
-            let d2 = s.reoptimize(&mut ctx2);
+            let d2 = s.plan(&mut ctx2);
             assert_eq!(d1.deployment, d2.deployment);
             assert!(d1.run.is_none());
         }
@@ -619,7 +946,8 @@ mod tests {
     #[test]
     fn clover_finds_carbon_saving_config() {
         let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
-        let mut s = make_scheduler(SchemeKind::Clover, &fam, 2, SaParams::default());
+        let mut s = make_scheduler(&SchemeKind::Clover, &fam, 2, SaParams::default());
+        assert_eq!(s.name(), "CLOVER");
         let mut ctx = SchedulerCtx {
             family: &fam,
             perf: &perf,
@@ -631,7 +959,7 @@ mod tests {
             evaluator: &mut evaluator,
             rng: &mut rng,
         };
-        let d = s.reoptimize(&mut ctx);
+        let d = s.plan(&mut ctx);
         let run = d.run.expect("clover records its run");
         assert!(run.best_f > 0.0, "best_f {}", run.best_f);
         assert!(run.evals.len() >= 2);
@@ -641,7 +969,7 @@ mod tests {
     #[test]
     fn oracle_switches_with_intensity() {
         let (fam, perf, objective, workload, mut evaluator, mut rng) = ctx_fixture(0.6);
-        let mut s = make_scheduler(SchemeKind::Oracle, &fam, 2, SaParams::default());
+        let mut s = make_scheduler(&SchemeKind::Oracle, &fam, 2, SaParams::default());
         let mut ctx_hi = SchedulerCtx {
             family: &fam,
             perf: &perf,
@@ -653,7 +981,7 @@ mod tests {
             evaluator: &mut evaluator,
             rng: &mut rng,
         };
-        let hi = s.reoptimize(&mut ctx_hi);
+        let hi = s.plan(&mut ctx_hi);
         assert!(hi.run.is_none(), "oracle charges no optimization time");
         let mut ctx_lo = SchedulerCtx {
             family: &fam,
@@ -666,7 +994,7 @@ mod tests {
             evaluator: &mut evaluator,
             rng: &mut rng,
         };
-        let lo = s.reoptimize(&mut ctx_lo);
+        let lo = s.plan(&mut ctx_lo);
         // At very low intensity, accuracy dominates: the oracle should pick
         // a configuration with higher accuracy than the high-intensity pick.
         let fam2 = efficientnet();
@@ -683,10 +1011,88 @@ mod tests {
     }
 
     #[test]
-    fn labels() {
+    fn oracle_reprofiles_per_rate_band() {
+        // A diurnal workload spans a wide rate range; planning at the
+        // trough and at the peak must land in different bands and build
+        // separate offline tables, while planning twice at the same demand
+        // reuses the existing table.
+        let (fam, perf, objective, _, mut evaluator, mut rng) = ctx_fixture(0.5);
+        let workload = Workload::new(clover_workload::WorkloadKind::diurnal(), 60.0);
+        let mut s = OracleScheduler::new();
+        let plan_at =
+            |s: &mut OracleScheduler, evaluator: &mut DesEvaluator, rng: &mut SimRng, rate: f64| {
+                evaluator.rate_rps = rate;
+                let mut ctx = SchedulerCtx {
+                    family: &fam,
+                    perf: &perf,
+                    objective: &objective,
+                    now: SimTime::ZERO,
+                    active_gpus: 2,
+                    workload: &workload,
+                    ci: CarbonIntensity::from_g_per_kwh(300.0),
+                    evaluator,
+                    rng,
+                };
+                s.plan(&mut ctx);
+            };
+        plan_at(&mut s, &mut evaluator, &mut rng, workload.min_rate() + 1.0);
+        assert_eq!(s.profiles.len(), 1);
+        plan_at(&mut s, &mut evaluator, &mut rng, workload.max_rate() - 1.0);
+        assert_eq!(s.profiles.len(), 2, "peak demand must get its own band");
+        assert_ne!(s.profiles[0].band, s.profiles[1].band);
+        plan_at(&mut s, &mut evaluator, &mut rng, workload.min_rate() + 1.0);
+        assert_eq!(s.profiles.len(), 2, "same band must reuse its table");
+    }
+
+    #[test]
+    fn registry_round_trip_and_unknown_name() {
+        let mut reg = SchedulerRegistry::with_builtins();
+        assert!(reg.contains("CLOVER"));
+        assert_eq!(reg.names().len(), 5);
+        // Register a custom scheme, build it back by name.
+        reg.register("PINNED-BASE", |init| {
+            Box::new(StaticScheduler {
+                kind: SchemeKind::Base,
+                deployment: Deployment::base(init.family, init.n_gpus),
+            })
+        })
+        .expect("fresh name");
+        let fam = efficientnet();
+        let init = SchedulerInit {
+            family: &fam,
+            n_gpus: 2,
+            sa: SaParams::default(),
+        };
+        let s = reg.build("PINNED-BASE", &init).expect("registered");
+        assert_eq!(s.name(), "BASE");
+        // Duplicate registration is rejected, not shadowed.
+        let dup = reg.register("CLOVER", |init| {
+            Box::new(BloverScheduler { params: init.sa })
+        });
+        assert_eq!(dup, Err(DuplicateScheme("CLOVER".to_string())));
+        // Unknown names fail with the full roster in the error.
+        let err = match reg.build("NO-SUCH-SCHEME", &init) {
+            Ok(_) => panic!("unknown scheme must not build"),
+            Err(e) => e,
+        };
+        assert_eq!(err.name, "NO-SUCH-SCHEME");
+        assert!(err.known.contains(&"ORACLE".to_string()));
+        assert!(err.to_string().contains("NO-SUCH-SCHEME"));
+    }
+
+    #[test]
+    fn labels_and_parse() {
         assert_eq!(SchemeKind::Clover.label(), "CLOVER");
         assert!(SchemeKind::Oracle.is_carbon_aware());
         assert!(!SchemeKind::Base.is_carbon_aware());
         assert_eq!(SchemeKind::ALL.len(), 5);
+        assert_eq!(SchemeKind::parse("clover"), SchemeKind::Clover);
+        assert_eq!(SchemeKind::parse("ORACLE"), SchemeKind::Oracle);
+        assert_eq!(
+            SchemeKind::parse("my-scheme"),
+            SchemeKind::Custom("my-scheme".to_string())
+        );
+        assert_eq!(SchemeKind::from("BASE"), SchemeKind::Base);
+        assert_eq!(SchemeKind::Custom("X".into()).label(), "X");
     }
 }

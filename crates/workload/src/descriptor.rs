@@ -320,6 +320,43 @@ impl Workload {
         }
     }
 
+    /// The smallest expected rate the workload can fall to, req/s (the
+    /// demand trough; the other end of the forecast's rate range).
+    pub fn min_rate(&self) -> f64 {
+        match &self.engine {
+            // Calm-state demand is the floor.
+            Engine::Mmpp { calm_rps, .. } => *calm_rps,
+            Engine::Replay { .. } => 0.0, // a recorded trace can go silent
+            Engine::Curve(curve) => curve.min_rate(),
+        }
+    }
+
+    /// Which of `bands` **equal-width** bands of the forecast's rate
+    /// range `[min_rate, max_rate]` the rate `rps` falls into, `0`
+    /// (trough) to `bands - 1` (peak). Bands divide the *range*, not the
+    /// time distribution — with 4 bands these are "quartiles of the rate
+    /// range", not equal-probability quantiles (a bursty workload may
+    /// spend most of its time in band 0). A degenerate range (constant
+    /// demand, e.g. the paper's Poisson workload) maps everything to
+    /// band 0.
+    ///
+    /// This is the index ORACLE keys its offline profiles by, so that the
+    /// argmax switches against measurements taken near the current demand
+    /// instead of whatever rate the profile happened to be built at.
+    ///
+    /// # Panics
+    /// Panics when `bands` is zero.
+    pub fn rate_band(&self, rps: f64, bands: usize) -> usize {
+        assert!(bands > 0, "rate_band needs at least one band");
+        let lo = self.min_rate();
+        let hi = self.max_rate();
+        if hi <= lo || !rps.is_finite() {
+            return 0;
+        }
+        let frac = ((rps - lo) / (hi - lo)).clamp(0.0, 1.0);
+        ((frac * bands as f64) as usize).min(bands - 1)
+    }
+
     /// The demand-forecast view handed to schedulers.
     pub fn forecast(&self) -> DemandForecast<'_> {
         DemandForecast { workload: self }
@@ -380,6 +417,17 @@ impl DemandForecast<'_> {
     /// Largest expected demand, req/s.
     pub fn max_rate(&self) -> f64 {
         self.workload.max_rate()
+    }
+
+    /// Smallest expected demand, req/s.
+    pub fn min_rate(&self) -> f64 {
+        self.workload.min_rate()
+    }
+
+    /// Quantile band of `rps` within the forecast's rate range (see
+    /// [`Workload::rate_band`]).
+    pub fn rate_band(&self, rps: f64, bands: usize) -> usize {
+        self.workload.rate_band(rps, bands)
     }
 }
 
@@ -607,6 +655,47 @@ mod tests {
         // Far from the spike the forecast sits at the baseline.
         let calm = wl.windowed_mean(SimTime::from_secs(100.0), SimDuration::from_secs(600.0));
         assert!(calm < wl.mean_rate(), "calm window {calm}");
+    }
+
+    #[test]
+    fn rate_range_and_bands() {
+        // Diurnal ±60% around 100: range [40, 160], quartiles of width 30.
+        let wl = Workload::new(WorkloadKind::diurnal(), 100.0);
+        assert!((wl.min_rate() - 40.0).abs() < 1e-9);
+        assert_eq!(wl.rate_band(40.0, 4), 0);
+        assert_eq!(wl.rate_band(69.9, 4), 0);
+        assert_eq!(wl.rate_band(70.1, 4), 1);
+        assert_eq!(wl.rate_band(100.0, 4), 2);
+        assert_eq!(wl.rate_band(160.0, 4), 3);
+        // Out-of-range queries clamp instead of indexing out of bounds.
+        assert_eq!(wl.rate_band(-5.0, 4), 0);
+        assert_eq!(wl.rate_band(1e9, 4), 3);
+        // The forecast view agrees.
+        assert_eq!(wl.forecast().rate_band(150.0, 4), 3);
+        assert_eq!(wl.forecast().min_rate(), wl.min_rate());
+
+        // Constant demand (the paper's Poisson) has a degenerate range:
+        // everything is band 0, so ORACLE keeps exactly one profile.
+        let poisson = Workload::poisson(100.0);
+        assert_eq!(poisson.min_rate(), poisson.max_rate());
+        assert_eq!(poisson.rate_band(100.0, 4), 0);
+        assert_eq!(poisson.rate_band(1e9, 4), 0);
+
+        // MMPP: the calm state is the floor, the burst state the ceiling.
+        let mmpp = Workload::new(WorkloadKind::mmpp(), 100.0);
+        assert!((mmpp.min_rate() - 62.5).abs() < 1e-9);
+        assert_eq!(mmpp.rate_band(mmpp.max_rate(), 4), 3);
+
+        // A flash crowd floors at its baseline between spikes.
+        let crowd = Workload::new(WorkloadKind::flash_crowd(), 100.0);
+        assert!(crowd.min_rate() > 0.0);
+        assert!(crowd.min_rate() < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn zero_bands_rejected() {
+        let _ = Workload::poisson(10.0).rate_band(5.0, 0);
     }
 
     #[test]

@@ -128,6 +128,26 @@ impl RateCurve {
         }
     }
 
+    /// The tightest constant lower bound on the curve (the trough the
+    /// demand can fall to); never negative.
+    pub fn min_rate(&self) -> f64 {
+        match self {
+            RateCurve::Constant(v) => v.max(0.0),
+            RateCurve::Sinusoid {
+                mean_rps,
+                amplitude_rps,
+                ..
+            } => (mean_rps - amplitude_rps.abs()).max(0.0),
+            RateCurve::PiecewiseLinear { points } => points
+                .iter()
+                .map(|&(_, r)| r)
+                .fold(f64::INFINITY, f64::min)
+                .max(0.0),
+            // The baseline between spikes is the floor.
+            RateCurve::FlashCrowd { base_rps, .. } => base_rps.max(0.0),
+        }
+    }
+
     /// Mean rate over `[a_s, b_s]` (trapezoid quadrature; exact for the
     /// piecewise-linear curve up to panel resolution).
     pub fn mean_over(&self, a_s: f64, b_s: f64) -> f64 {

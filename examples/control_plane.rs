@@ -1,0 +1,135 @@
+//! The control-plane API end to end: a custom scheme registered by name,
+//! driven on a sub-hour control cadence with full-epoch fidelity.
+//!
+//! Demonstrates the three pieces `docs/control-plane.md` describes:
+//!
+//! - **Open scheduler registry** — `ANALYTIC`, a ~30-line scheme that
+//!   argmaxes the paper's objective over the standardized configuration
+//!   space using the zero-cost M/M/c estimate instead of live DES
+//!   measurement (a model-based counterpart to ORACLE), is registered at
+//!   runtime and addressed from an ordinary `ExperimentConfig` — no core
+//!   enum to extend.
+//! - **Sub-hour control epochs** — the loop ticks every 15 minutes while
+//!   the carbon trace stays hourly.
+//! - **Fidelity** — the same cells are run with the paper's representative
+//!   window and with `FullEpoch` (every arrival of every epoch simulated),
+//!   showing what burst sampling does to the measured numbers under a
+//!   bursty MMPP workload.
+//!
+//! Run with: `cargo run --release --example control_plane`
+
+use clover::core::control::Fidelity;
+use clover::core::experiment::{Experiment, ExperimentConfig};
+use clover::core::objective::MeasuredPoint;
+use clover::core::schedulers::{
+    enumerate_standardized, register_scheduler, Decision, Observation, Scheduler, SchedulerCtx,
+    SchemeKind,
+};
+use clover::models::zoo::Application;
+use clover::serving::{analytic, Deployment};
+use clover::workload::WorkloadKind;
+
+/// A model-based scheme: every invocation, rank the standardized space by
+/// the paper's objective at the current carbon intensity — using the
+/// zero-cost analytic (M/M/c) estimate instead of ORACLE's offline DES
+/// profile or CLOVER's charged live measurements — and deploy the best
+/// SLA-compliant entry. No optimization time is charged because nothing
+/// touches live traffic.
+struct AnalyticScheduler {
+    plans: u32,
+    epochs_observed: u32,
+}
+
+impl Scheduler for AnalyticScheduler {
+    fn name(&self) -> &str {
+        "ANALYTIC"
+    }
+
+    fn plan(&mut self, ctx: &mut SchedulerCtx<'_>) -> Decision {
+        self.plans += 1;
+        let rate = ctx.workload.planning_rate_at(ctx.now);
+        let deployment = enumerate_standardized(ctx.family, ctx.active_gpus)
+            .into_iter()
+            .filter_map(|d| {
+                let est = analytic::estimate(ctx.family, ctx.perf, &d, rate);
+                if !est.stable || est.p95_latency_s > ctx.objective.l_tail_s {
+                    return None;
+                }
+                let acc = clover::models::capacity_weighted_accuracy(
+                    ctx.family,
+                    ctx.perf,
+                    &d.instances(),
+                )?;
+                let point = MeasuredPoint {
+                    accuracy_pct: acc,
+                    energy_per_request_j: est.energy_per_request_j,
+                    p95_latency_s: est.p95_latency_s,
+                };
+                Some((d, ctx.objective.f(&point, ctx.ci)))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"))
+            .map(|(d, _)| d)
+            .unwrap_or_else(|| Deployment::base(ctx.family, ctx.active_gpus));
+        Decision {
+            deployment,
+            run: None,
+        }
+    }
+
+    fn observe(&mut self, _obs: &Observation<'_>) {
+        // A real scheme would learn from the served window here (see
+        // ORACLE's per-rate-band profiles); this one just counts.
+        self.epochs_observed += 1;
+    }
+}
+
+fn config(scheme: SchemeKind, fidelity: Fidelity) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(scheme)
+        .workload(WorkloadKind::mmpp())
+        .n_gpus(2)
+        .horizon_hours(6.0)
+        .control_epoch_s(900.0) // 15-minute control loop
+        .fidelity(fidelity)
+        // MMPP bursts hit ~2.5× the mean rate: leave burst headroom on the
+        // fleet and on the tail budget, or every BASE-layout epoch drowns.
+        .utilization(0.25)
+        .sla_headroom(2.0)
+        .seed(7)
+        .build()
+}
+
+fn main() {
+    register_scheduler("ANALYTIC", |_| {
+        Box::new(AnalyticScheduler {
+            plans: 0,
+            epochs_observed: 0,
+        })
+    })
+    .expect("fresh name");
+
+    println!("scheme      fidelity     carbon_save%  acc_loss%  p95/sla  epochs");
+    for scheme in [SchemeKind::Clover, SchemeKind::Custom("ANALYTIC".into())] {
+        for fidelity in [
+            Fidelity::RepresentativeWindow { window_s: 20.0 },
+            Fidelity::FullEpoch,
+        ] {
+            let out = Experiment::new(config(scheme.clone(), fidelity)).run();
+            println!(
+                "{:<11} {:<12} {:>12.1} {:>10.2} {:>8.2} {:>7}",
+                out.scheme,
+                out.fidelity,
+                out.carbon_saving_pct,
+                out.accuracy_loss_pct,
+                out.p95_s / out.sla_p95_s,
+                out.timeline.len(),
+            );
+        }
+    }
+    println!();
+    println!(
+        "ANALYTIC was registered at runtime and addressed as SchemeKind::Custom; the 15-minute \
+         cadence gives 24 control epochs per 6 h run, and full-epoch fidelity samples the MMPP \
+         bursts the 20 s representative window mostly misses."
+    );
+}

@@ -152,7 +152,7 @@ fn autoscaled_grids_are_bit_identical_serial_vs_parallel() {
 fn all_schemes_complete_under_forecast_scaling() {
     for scheme in SchemeKind::ALL {
         let cfg = ExperimentConfig::builder(Application::ObjectDetection)
-            .scheme(scheme)
+            .scheme(scheme.clone())
             .workload(WorkloadKind::diurnal())
             .scaling(ScalingPolicy::forecast())
             .n_gpus(2)
