@@ -25,10 +25,29 @@
 //!    has the fleet restored within minutes: the crowd is caught, the SLA
 //!    holds, and carbon stays below the static fleet.
 //!
+//! Two **pre-warm** cells extend the study (the forecast-peak policy:
+//! the spike is periodic and forecastable, so capacity starts warming
+//! *before* the ramp instead of chasing it — and because the lookahead
+//! guards the ramps, the calm fleet runs lean, sized just under the
+//! scale-up trigger instead of at the reactive policy's standing-headroom
+//! target):
+//!
+//! 6. **10-minute / full-epoch / prewarm** — at the cadence where reactive
+//!    is borderline, pre-warming meets the SLA with a smaller mean fleet;
+//! 7. **2-minute / full-epoch / prewarm** — meets the SLA at *less* carbon
+//!    than the reactive loop: warm when the crowd lands, lean in between.
+//!
+//! All cells serve at `FullEpoch` fidelity **continuously**: queue and
+//! in-flight state carry across every epoch boundary, so a 2-minute
+//! cadence is one unbroken run, not 720 cold starts (cold seams would
+//! flatter exactly the overload tails this figure measures).
+//!
 //! Claims: cells 2 and 3 share scaling decisions but disagree on the
 //! measured tail (the fidelity artifact); cell 5 meets the SLA that cell
 //! 3 violates, at less carbon than cell 1 (sub-hour reactive scaling
-//! catches what hourly epochs miss).
+//! catches what hourly epochs miss); cells 6 and 7 meet the SLA at less
+//! carbon than their reactive counterparts (forecast insurance replaces
+//! standing headroom — pinned by `tests/autoscale.rs`).
 
 use clover_bench::{bench_threads, header, scaled_horizon};
 use clover_core::autoscale::ScalingPolicy;
@@ -92,6 +111,25 @@ fn cells() -> Vec<Cell> {
             fidelity: Fidelity::FullEpoch,
             policy: ScalingPolicy::reactive(),
         },
+        // Pre-warm lookaheads cover detection plus the one-epoch
+        // provisioning delay at their cadence: the warm-up lands before
+        // the ramp, not mid-crowd.
+        Cell {
+            label: "10min/full/prewarm",
+            epoch_s: 600.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::PreWarm {
+                lookahead_hours: 0.35,
+            },
+        },
+        Cell {
+            label: "2min/full/prewarm",
+            epoch_s: 120.0,
+            fidelity: Fidelity::FullEpoch,
+            policy: ScalingPolicy::PreWarm {
+                lookahead_hours: 0.075,
+            },
+        },
     ]
 }
 
@@ -151,6 +189,8 @@ fn main() {
     let blind = by_label("hourly/window/reactive");
     let honest = by_label("hourly/full/reactive");
     let fast = by_label("2min/full/reactive");
+    let warm = by_label("2min/full/prewarm");
+    let warm10 = by_label("10min/full/prewarm");
 
     // The fidelity artifact: same hourly decisions, opposite verdicts.
     println!(
@@ -172,6 +212,32 @@ fn main() {
             "still missing"
         },
         (static_carbon - fast.total_carbon_g) / static_carbon * 100.0,
+    );
+    // The pre-warm win: the fleet is warm when the crowd lands (the
+    // lookahead sees the ramp coming) and lean in between (forecast
+    // insurance replaces the reactive policy's standing headroom), so the
+    // SLA is met at *less* carbon than reaction at the same cadence.
+    println!(
+        "pre-warm win: at 2-minute epochs the forecast-peak policy holds p95/sla {:.2} vs \
+         reactive {:.2} ({} the SLA) at {:+.1}% carbon vs reactive and {:.1}% less than static; \
+         at 10-minute epochs pre-warming already {} the SLA (p95/sla {:.2}) where reactive is \
+         borderline",
+        warm.p95_s / warm.sla_p95_s,
+        fast.p95_s / fast.sla_p95_s,
+        if warm.sla_met { "meeting" } else { "missing" },
+        (warm.total_carbon_g - fast.total_carbon_g) / fast.total_carbon_g * 100.0,
+        (static_carbon - warm.total_carbon_g) / static_carbon * 100.0,
+        if warm10.sla_met { "meets" } else { "misses" },
+        warm10.p95_s / warm10.sla_p95_s,
+    );
+    // The continuity dividend: backlog crossing epoch boundaries is real
+    // state the cold-start path silently discarded.
+    let peak_backlog = |o: &ExperimentOutcome| o.timeline.iter().map(|h| h.backlog).max().unwrap();
+    println!(
+        "continuity: the 2-minute reactive run carries up to {} requests across an epoch \
+         boundary mid-crowd (pre-warm: {}) — state a cold-start-per-epoch simulation would drop",
+        peak_backlog(fast),
+        peak_backlog(warm),
     );
     // Sub-hour timeline: the fleet visibly breathes within the hour.
     let resizes = |o: &ExperimentOutcome| {

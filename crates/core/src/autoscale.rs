@@ -12,7 +12,7 @@
 //! work, admitting nothing, still drawing power until confirmed empty), or
 //! *off* (drawing only standby watts).
 //!
-//! Three policies are compared ([`ScalingPolicy`]):
+//! Four policies are compared ([`ScalingPolicy`]):
 //!
 //! - **Static** — the paper's setup: the whole fleet stays powered.
 //! - **Reactive** — sizes against the *current* demand estimate
@@ -21,6 +21,10 @@
 //! - **Forecast** — sizes against the forecast mean over a look-ahead
 //!   horizon (`windowed_mean(now, lookahead)`), so capacity for a diurnal
 //!   ramp is powering up *before* the traffic arrives.
+//! - **PreWarm** — sizes against the forecast *peak* over a look-ahead
+//!   horizon (`peak_over(now, lookahead)`): a short flash crowd barely
+//!   moves a windowed mean, but its peak is visible to the lookahead, so
+//!   the fleet is warm before the ramp opens (see `fig_flashcrowd`).
 //!
 //! The scaler is deliberately free of randomness: decisions are pure
 //! arithmetic over the forecast, so autoscaled experiments stay
@@ -54,6 +58,28 @@ pub enum ScalingPolicy {
         /// Forecast window queried each epoch, hours.
         lookahead_hours: f64,
     },
+    /// Size against the forecast **peak** over a look-ahead horizon
+    /// ([`DemandForecast::peak_over`]): capacity for a predicted spike is
+    /// warming *before* the ramp opens, not chasing it from behind. The
+    /// windowed mean smears a short flash crowd into near-invisibility
+    /// (a 5-minute 5× spike barely moves a 2-hour mean); the peak is what
+    /// a pre-warming fleet must actually be sized for. Between spikes the
+    /// peak falls back to the baseline, so the fleet still powers down.
+    ///
+    /// Because the lookahead guarantees ramps are met from the front, the
+    /// policy also runs **lean between them**: it sizes toward a
+    /// utilization just under the scale-up threshold
+    /// ([`ScalingPolicy::PREWARM_TARGET_FRAC`] × `up_threshold`) instead
+    /// of the conservative reactive target — forecast insurance replaces
+    /// the standing headroom a reactive fleet must keep against surprise.
+    /// This is where the policy's carbon win over the reactive loop comes
+    /// from (`fig_flashcrowd`). Uses the default hysteresis thresholds.
+    PreWarm {
+        /// Forecast horizon scanned for predicted peaks, hours. Must cover
+        /// at least the provisioning delay (epochs × epoch length), or the
+        /// warm-up lands mid-ramp like the reactive policy's.
+        lookahead_hours: f64,
+    },
 }
 
 impl ScalingPolicy {
@@ -63,6 +89,15 @@ impl ScalingPolicy {
     pub const DEFAULT_DOWN: f64 = 0.40;
     /// Default forecast look-ahead, hours.
     pub const DEFAULT_LOOKAHEAD_HOURS: f64 = 2.0;
+    /// Default pre-warm look-ahead, hours (15 minutes: enough to beat a
+    /// flash-crowd ramp at sub-hour cadences without warming the fleet
+    /// long before the spike needs it).
+    pub const DEFAULT_PREWARM_LOOKAHEAD_HOURS: f64 = 0.25;
+    /// The pre-warm policy's lean sizing target as a fraction of the
+    /// scale-up threshold: the calm fleet sits just under the hysteresis
+    /// trigger (0.9 × 0.80 = 0.72 utilization at the defaults) because the
+    /// lookahead — not spare capacity — covers predicted ramps.
+    pub const PREWARM_TARGET_FRAC: f64 = 0.9;
 
     /// Reactive policy with the default hysteresis thresholds.
     pub fn reactive() -> Self {
@@ -79,12 +114,20 @@ impl ScalingPolicy {
         }
     }
 
+    /// Pre-warm policy with the default look-ahead.
+    pub fn prewarm() -> Self {
+        ScalingPolicy::PreWarm {
+            lookahead_hours: Self::DEFAULT_PREWARM_LOOKAHEAD_HOURS,
+        }
+    }
+
     /// Short display label (figure legends, CSV columns).
     pub fn label(&self) -> &'static str {
         match self {
             ScalingPolicy::Static => "static",
             ScalingPolicy::Reactive { .. } => "reactive",
             ScalingPolicy::Forecast { .. } => "forecast",
+            ScalingPolicy::PreWarm { .. } => "prewarm",
         }
     }
 
@@ -300,9 +343,30 @@ impl Scaler {
             ScalingPolicy::Forecast { lookahead_hours } => {
                 forecast.windowed_mean(now, SimDuration::from_hours(lookahead_hours))
             }
+            // Size on the predicted *peak*: the worst demand the forecast
+            // sees inside the look-ahead. Ahead of a ramp the peak appears
+            // as soon as the horizon touches the spike, so capacity is
+            // warming before traffic arrives; once the horizon clears the
+            // spike the peak collapses back to the baseline and the fleet
+            // scales down again.
+            ScalingPolicy::PreWarm { lookahead_hours } => {
+                forecast.peak_over(now, SimDuration::from_hours(lookahead_hours))
+            }
         };
         let (up, down) = self.cfg.policy.thresholds();
         let cap = self.cfg.capacity_per_gpu_rps;
+        // The pre-warm policy trades standing headroom for forecast
+        // insurance: it sizes toward a utilization just under the scale-up
+        // trigger (never below the configured target), where the other
+        // policies keep the conservative target as their cushion against
+        // demand they cannot see coming.
+        let target = match self.cfg.policy {
+            ScalingPolicy::PreWarm { .. } => self
+                .cfg
+                .target_utilization
+                .max(up * ScalingPolicy::PREWARM_TARGET_FRAC),
+            _ => self.cfg.target_utilization,
+        };
 
         if epoch >= self.cooldown_until {
             let powered = self.active + self.pending();
@@ -315,7 +379,7 @@ impl Scaler {
                 // is bounded by what is genuinely uncommitted.
                 let uncommitted = self.cfg.max_gpus - powered - self.draining_count();
                 let add = self
-                    .desired(demand)
+                    .desired(demand, target)
                     .saturating_sub(powered)
                     .min(uncommitted);
                 if add > 0 {
@@ -332,7 +396,7 @@ impl Scaler {
                 // enter the drain window — in-flight work finishes, nothing
                 // new is admitted, power keeps flowing — and only then fall
                 // to standby.
-                let desired = self.desired(demand);
+                let desired = self.desired(demand, target);
                 if desired < self.active {
                     let retired = self.active - desired;
                     self.active = desired;
@@ -348,10 +412,10 @@ impl Scaler {
         self.state()
     }
 
-    /// GPU count that would serve `demand` at the target utilization,
+    /// GPU count that would serve `demand` at utilization `target`,
     /// clamped to the configured bounds.
-    fn desired(&self, demand_rps: f64) -> usize {
-        let ideal = demand_rps / (self.cfg.capacity_per_gpu_rps * self.cfg.target_utilization);
+    fn desired(&self, demand_rps: f64, target: f64) -> usize {
+        let ideal = demand_rps / (self.cfg.capacity_per_gpu_rps * target);
         (ideal.ceil() as usize).clamp(self.cfg.min_gpus, self.cfg.max_gpus)
     }
 
@@ -523,11 +587,72 @@ mod tests {
     }
 
     #[test]
+    fn prewarm_powers_up_before_the_spike_and_down_after() {
+        // Flash crowd at 60 req/s mean on 4×50 req/s GPUs: calm demand is
+        // ~50 req/s (2 GPUs at the 0.65 target), the ~5-minute spike peaks
+        // at ~250 req/s and opens at hour 1. Stepping every 2 minutes with
+        // a 15-minute lookahead, the fleet must be growing before the ramp
+        // opens and shrunken again between spikes.
+        let workload = Workload::new(WorkloadKind::flash_crowd(), 60.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::prewarm(), 1, 4, 50.0);
+        cfg.cooldown_epochs = 0;
+        let mut scaler = Scaler::new(cfg);
+        let epoch_s = 120.0;
+        let fleet: Vec<FleetState> = (0..60)
+            .map(|i| scaler.step(SimTime::from_secs(i as f64 * epoch_s), &workload.forecast()))
+            .collect();
+        let at = |t_s: f64| &fleet[(t_s / epoch_s) as usize];
+        // Quiet stretch, spike not yet on the horizon: scaled down.
+        assert!(at(1800.0).active <= 2, "calm fleet {:?}", at(1800.0));
+        // Just before the ramp opens (spike at 3600 s, visible from
+        // 2700 s): capacity is powered or powering.
+        let pre = at(3600.0 - epoch_s);
+        assert_eq!(
+            pre.powered(),
+            4,
+            "fleet not pre-warmed ahead of the ramp: {pre:?}"
+        );
+        // Well after the spike (over by ~4020 s; lookahead clears it, then
+        // the drain window empties): scaled down again.
+        let post = at(5400.0);
+        assert!(
+            post.active <= 2,
+            "fleet never relaxed after the spike: {post:?}"
+        );
+    }
+
+    #[test]
+    fn prewarm_beats_reactive_to_a_flash_crowd() {
+        // The reactive policy cannot see the spike until traffic arrives;
+        // the pre-warm policy powers up while rate_at(now) is still calm.
+        let workload = Workload::new(WorkloadKind::flash_crowd(), 60.0);
+        let first_grow = |policy: ScalingPolicy| {
+            let mut cfg = ScalerConfig::new(policy, 1, 4, 50.0);
+            cfg.cooldown_epochs = 0;
+            let mut scaler = Scaler::new(cfg);
+            // Growth always passes through the warming state (the default
+            // provisioning delay is one epoch), so `warming > 0` is the
+            // unambiguous "began powering up" signal.
+            (0..120)
+                .map(|i| scaler.step(SimTime::from_secs(i as f64 * 60.0), &workload.forecast()))
+                .position(|f| f.warming > 0)
+        };
+        let prewarm = first_grow(ScalingPolicy::prewarm());
+        let reactive = first_grow(ScalingPolicy::reactive());
+        match (prewarm, reactive) {
+            (Some(p), Some(r)) => assert!(p < r, "prewarm grew at {p}, reactive at {r}"),
+            (Some(_), None) => {} // reactive never even caught the spike
+            (p, r) => panic!("prewarm {p:?} reactive {r:?}"),
+        }
+    }
+
+    #[test]
     fn labels_and_defaults() {
         assert_eq!(ScalingPolicy::default(), ScalingPolicy::Static);
         assert_eq!(ScalingPolicy::Static.label(), "static");
         assert_eq!(ScalingPolicy::reactive().label(), "reactive");
         assert_eq!(format!("{}", ScalingPolicy::forecast()), "forecast");
+        assert_eq!(ScalingPolicy::prewarm().label(), "prewarm");
         let cfg = ScalerConfig::new(ScalingPolicy::forecast(), 2, 8, 25.0);
         assert_eq!(cfg.min_gpus, 2);
         assert_eq!(Scaler::new(cfg).state().active, 8);

@@ -30,7 +30,9 @@
 
 use crate::anneal::{EvalRecord, SaParams};
 use crate::autoscale::{Scaler, ScalerConfig, ScalingPolicy};
-use crate::control::{per_hour_or_panic, ControlPlane, EpochSchedule, Fidelity, PlaneEnv};
+use crate::control::{
+    per_hour_or_panic, ControlPlane, EpochSchedule, Fidelity, PlaneEnv, SearchBudget,
+};
 use crate::eval::DesEvaluator;
 use crate::objective::{MeasuredPoint, Objective};
 use crate::schedulers::{make_scheduler, SchemeKind};
@@ -45,6 +47,45 @@ use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
 use clover_workload::{Workload, WorkloadKind};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// How the SLA is derived from the calibration window's measured BASE p95.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SlaMargin {
+    /// A flat multiplicative headroom over the measured p95 (the paper's
+    /// `p95 × 1.05`, and the default). Simple, but blind to how noisy the
+    /// p95 estimate itself is: a calibration seed that happened to draw a
+    /// light tail derives an SLA the long run can graze.
+    Flat,
+    /// Confidence-interval-based headroom: the SLA is the *larger* of the
+    /// flat target and the upper confidence bound of the true p95 — the
+    /// order-statistic (normal-approximation) bound
+    /// `q_hi = 0.95 + z·√(0.95·0.05/n)` over the calibration window's `n`
+    /// served requests, read from its latency histogram. A noisy (small-n
+    /// or heavy-tailed) calibration widens its own headroom instead of
+    /// shipping a target its own baseline will violate, which makes the
+    /// derived SLA stable across calibration seeds (pinned by a test).
+    ConfidenceInterval {
+        /// Normal quantile of the one-sided confidence level (1.96 ≈ 97.5%).
+        z: f64,
+    },
+}
+
+impl SlaMargin {
+    /// The default confidence quantile (one-sided 97.5%).
+    pub const DEFAULT_Z: f64 = 1.96;
+
+    /// Confidence-interval margin at the default confidence level.
+    pub fn confidence_interval() -> Self {
+        SlaMargin::ConfidenceInterval { z: Self::DEFAULT_Z }
+    }
+}
+
+impl Default for SlaMargin {
+    /// The paper's flat headroom.
+    fn default() -> Self {
+        SlaMargin::Flat
+    }
+}
 
 /// Where the carbon intensity comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -96,10 +137,17 @@ pub struct ExperimentConfig {
     pub fidelity: Fidelity,
     /// SLA headroom multiplier over the measured BASE p95.
     pub sla_headroom: f64,
+    /// How the headroom is derived from the calibration measurement
+    /// (default: the paper's flat multiplier; see [`SlaMargin`]).
+    pub sla_margin: SlaMargin,
     /// Carbon-monitor re-optimization threshold (paper: 5%).
     pub monitor_threshold: f64,
     /// Simulated-annealing parameters.
     pub sa: SaParams,
+    /// How the SA budget relates to the control cadence (default:
+    /// epoch-scaled at the paper-preserving fraction; see
+    /// [`SearchBudget`]).
+    pub search_budget: SearchBudget,
 }
 
 impl ExperimentConfig {
@@ -123,8 +171,10 @@ impl ExperimentConfig {
                 control_epoch_s: 3600.0,
                 fidelity: Fidelity::representative(),
                 sla_headroom: 1.05,
+                sla_margin: SlaMargin::Flat,
                 monitor_threshold: CarbonMonitor::DEFAULT_THRESHOLD,
                 sa: SaParams::default(),
+                search_budget: SearchBudget::epoch_scaled(),
             },
             window_override: None,
         }
@@ -194,6 +244,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets how the SLA headroom is derived from the calibration
+    /// measurement (default: the paper's flat multiplier).
+    pub fn sla_margin(mut self, m: SlaMargin) -> Self {
+        self.cfg.sla_margin = m;
+        self
+    }
+
     /// Sets the horizon in hours.
     pub fn horizon_hours(mut self, h: f64) -> Self {
         self.cfg.horizon_hours = h;
@@ -251,6 +308,13 @@ impl ExperimentConfigBuilder {
     /// Sets SA parameters.
     pub fn sa(mut self, sa: SaParams) -> Self {
         self.cfg.sa = sa;
+        self
+    }
+
+    /// Sets how the SA budget scales with the control cadence (default:
+    /// epoch-scaled at the paper-preserving fraction).
+    pub fn search_budget(mut self, b: SearchBudget) -> Self {
+        self.cfg.search_budget = b;
         self
     }
 
@@ -335,6 +399,15 @@ impl ExperimentConfigBuilder {
              BASE reference itself measured",
             cfg.sla_headroom
         );
+        if let SlaMargin::ConfidenceInterval { z } = cfg.sla_margin {
+            assert!(
+                z.is_finite() && z > 0.0,
+                "experiment config: confidence-interval SLA margin needs a positive normal \
+                 quantile, got z = {z}"
+            );
+        }
+        // Panics with the budget's own contract on a bad fraction.
+        let _ = cfg.search_budget.apply(cfg.sa, cfg.control_epoch_s);
         self.cfg
     }
 }
@@ -363,6 +436,19 @@ pub struct HourPoint {
     pub energy_per_request_j: f64,
     /// Eq. 2 carbon reduction of this hour's configuration, percent.
     pub carbon_save_pct: f64,
+    /// Requests that arrived within the epoch's measured window (window
+    /// counts, not extrapolated).
+    pub arrived: u64,
+    /// Requests served within it.
+    pub served: u64,
+    /// Requests dropped at the admission queue within it.
+    pub dropped: u64,
+    /// Requests still queued or in flight at the epoch's closing boundary
+    /// (continuous full-epoch serving; always 0 under the representative
+    /// window, which drains). Together with the three counters above this
+    /// closes the per-boundary conservation law
+    /// `Σ arrived == Σ served + Σ dropped + backlog` at every epoch.
+    pub backlog: u64,
 }
 
 /// One optimization invocation (Figs. 12–13).
@@ -593,7 +679,22 @@ impl Experiment {
             SimDuration::from_secs(16.0),
         );
         let base_energy = w.energy_per_request_j().expect("calibration served");
-        let sla = w.p95_latency_s.expect("calibration served") * cfg.sla_headroom;
+        let base_p95 = w.p95_latency_s.expect("calibration served");
+        let flat_sla = base_p95 * cfg.sla_headroom;
+        let sla = match cfg.sla_margin {
+            SlaMargin::Flat => flat_sla,
+            // The flat multiplier trusts the point estimate; the CI margin
+            // widens the target to the order-statistic upper bound of the
+            // true p95 whenever that bound exceeds the flat headroom — a
+            // calibration seed that drew a light tail can no longer derive
+            // an SLA its own long-run baseline grazes.
+            SlaMargin::ConfidenceInterval { z } => {
+                let n = w.served as f64;
+                let q_hi = (0.95 + z * (0.95 * 0.05 / n).sqrt()).min(0.9995);
+                let p95_hi = w.latency_hist.quantile(q_hi).unwrap_or(base_p95);
+                flat_sla.max(p95_hi)
+            }
+        };
         let ci_ref = trace.mean();
         let c_base = Objective::carbon_per_request_g(base_energy, ci_ref);
 
@@ -672,7 +773,11 @@ impl Experiment {
         let wp = cfg.fidelity.window_plan(epoch_len);
 
         let initial = Deployment::base(&self.family, cfg.n_gpus);
-        let scheduler = make_scheduler(&cfg.scheme, &self.family, cfg.n_gpus, cfg.sa);
+        // The search budget is resolved against the cadence once: sub-hour
+        // epochs cap the SA's charged live time and iteration budget, the
+        // hourly default passes the paper's parameters through untouched.
+        let sa = cfg.search_budget.apply(cfg.sa, cfg.control_epoch_s);
+        let scheduler = make_scheduler(&cfg.scheme, &self.family, cfg.n_gpus, sa);
         let evaluator = DesEvaluator::new(
             self.family.clone(),
             self.perf,
@@ -726,6 +831,13 @@ impl Experiment {
             workload: &self.workload,
         };
         let mut active_gpu_hours = 0.0f64;
+        // Under FullEpoch fidelity the run is *continuous*: queue and
+        // in-flight state cross every epoch boundary (the scheme's carry is
+        // owned by the control plane, the synchronized BASE reference keeps
+        // its own), so a 2-minute cadence simulates one unbroken day
+        // instead of 720 cold starts.
+        let continuous = matches!(cfg.fidelity, Fidelity::FullEpoch);
+        let mut base_carry = clover_serving::ServingCarry::default();
 
         for epoch in schedule.iter() {
             let t = epoch.start;
@@ -762,11 +874,16 @@ impl Experiment {
             }
 
             // The epoch's serving measurement — a representative window
-            // extrapolated to the epoch, or the full epoch, per the
-            // configured fidelity — driven by the workload's arrival
-            // process anchored at the epoch's start.
+            // extrapolated to the epoch, or the full epoch served
+            // continuously across boundaries, per the configured fidelity
+            // — driven by the workload's arrival process anchored at the
+            // epoch's start.
             let mut arrivals = self.workload.process_from(t);
-            let w = sim.run_window_with(arrivals.as_mut(), wp.window, wp.warmup);
+            let w = if continuous {
+                plane.serve_continuous(&mut sim, arrivals.as_mut(), epoch_len)
+            } else {
+                sim.run_window_with(arrivals.as_mut(), wp.window, wp.warmup)
+            };
             sim_events += w.sim_events;
             Self::accumulate(
                 &mut ledger,
@@ -835,11 +952,24 @@ impl Experiment {
                 p95_s: epoch_p95,
                 energy_per_request_j: epoch_energy,
                 carbon_save_pct,
+                arrived: w.arrived,
+                served: w.served,
+                dropped: w.dropped,
+                backlog: plane.backlog(),
             });
 
-            // Synchronized BASE reference epoch, under the same workload.
+            // Synchronized BASE reference epoch, under the same workload
+            // (carried across boundaries too when the run is continuous —
+            // the baseline must not keep a cold-start advantage).
             let mut base_arrivals = self.workload.process_from(t);
-            let bw = base_sim.run_window_with(base_arrivals.as_mut(), wp.window, wp.warmup);
+            let bw = if continuous {
+                let (bw, next) =
+                    base_sim.run_epoch_continuous(base_arrivals.as_mut(), epoch_len, base_carry);
+                base_carry = next;
+                bw
+            } else {
+                base_sim.run_window_with(base_arrivals.as_mut(), wp.window, wp.warmup)
+            };
             sim_events += bw.sim_events;
             base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * wp.scale));
             base_hist.merge(&bw.latency_hist);
@@ -1092,6 +1222,55 @@ mod tests {
         assert_eq!(out.scaling, "static");
         assert_eq!(out.mean_active_gpus, 4.0);
         assert!(out.timeline.iter().all(|h| h.active_gpus == 4));
+    }
+
+    #[test]
+    fn ci_sla_margin_is_stable_across_calibration_seeds_and_never_tighter() {
+        // The flake the CI margin fixes: a calibration seed that draws a
+        // light tail derives a flat SLA the 6-hour run can graze. The
+        // order-statistic bound lifts exactly those under-estimates, so
+        // across calibration seeds the derived SLA (a) is never tighter
+        // than the flat one and (b) varies little seed to seed.
+        let derive = |seed: u64, margin: SlaMargin| {
+            let cfg = ExperimentConfig::builder(Application::ImageClassification)
+                .n_gpus(4)
+                .sla_margin(margin)
+                .seed(seed)
+                .build();
+            Experiment::new(cfg).objective.l_tail_s
+        };
+        let seeds: Vec<u64> = (1..=8).collect();
+        let ci: Vec<f64> = seeds
+            .iter()
+            .map(|&s| derive(s, SlaMargin::confidence_interval()))
+            .collect();
+        let flat: Vec<f64> = seeds.iter().map(|&s| derive(s, SlaMargin::Flat)).collect();
+        for (c, f) in ci.iter().zip(flat.iter()) {
+            assert!(
+                c >= f,
+                "CI margin derived a tighter SLA ({c}) than the flat one ({f})"
+            );
+        }
+        let spread = |v: &[f64]| {
+            let max = v.iter().cloned().fold(f64::MIN, f64::max);
+            let min = v.iter().cloned().fold(f64::MAX, f64::min);
+            (max - min) / min
+        };
+        assert!(
+            spread(&ci) < 0.10,
+            "CI-derived SLA varies {:.1}% across calibration seeds: {ci:?}",
+            spread(&ci) * 100.0
+        );
+        // And the default stays the paper's flat margin (digest safety).
+        assert_eq!(SlaMargin::default(), SlaMargin::Flat);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a positive normal quantile")]
+    fn nonpositive_ci_quantile_rejected() {
+        let _ = ExperimentConfig::builder(Application::ImageClassification)
+            .sla_margin(SlaMargin::ConfidenceInterval { z: 0.0 })
+            .build();
     }
 
     #[test]

@@ -23,4 +23,4 @@ pub mod sim;
 
 pub use analytic::{estimate, AnalyticEstimate};
 pub use deployment::{Deployment, DeploymentError};
-pub use sim::{ServingSim, WindowMetrics, MAX_QUEUE, SERVICE_JITTER_SIGMA};
+pub use sim::{ServingCarry, ServingSim, WindowMetrics, MAX_QUEUE, SERVICE_JITTER_SIGMA};

@@ -309,6 +309,40 @@ impl Workload {
         }
     }
 
+    /// The largest expected rate within the window `[from, from + span]`,
+    /// req/s — the lookahead a pre-warming autoscaler sizes against ("the
+    /// worst demand the forecast predicts inside my provisioning horizon").
+    /// Exact for deterministic rate curves (via their critical points).
+    /// MMPP bursts are not forecastable, so the stationary mean is all a
+    /// planner may know; a replay trace answers with its largest empirical
+    /// windowed rate, scanned at the rate estimator's own resolution so no
+    /// burst the estimator can resolve falls between samples.
+    pub fn peak_over(&self, from: SimTime, span: SimDuration) -> f64 {
+        assert!(!span.is_zero(), "empty forecast window");
+        let (a, b) = (from.as_secs(), (from + span).as_secs());
+        match &self.engine {
+            Engine::Mmpp { .. } => self.base_rps,
+            Engine::Replay { trace, looping } => {
+                // The empirical rate is a centered-window estimate of
+                // width w (`ArrivalTrace::empirical_rate_at`); sampling
+                // every w/2 guarantees every instant of the lookahead is
+                // covered by some sample's window — a step wider than w
+                // would let a w-narrow burst hide between samples, which
+                // is exactly the spike a pre-warm lookahead exists to
+                // catch. The step count is bounded so a very long
+                // lookahead over a fine trace stays O(thousands) of
+                // binary searches, degrading resolution rather than cost.
+                let w = trace.rate_window_s();
+                let steps = (((b - a) / (w * 0.5)).ceil() as usize).clamp(32, 4096);
+                let h = (b - a) / steps as f64;
+                (0..=steps)
+                    .map(|i| trace.empirical_rate_at(a + h * i as f64, *looping))
+                    .fold(0.0f64, f64::max)
+            }
+            Engine::Curve(curve) => curve.max_over(a, b),
+        }
+    }
+
     /// The largest expected rate the workload can demand, req/s (capacity
     /// planning headroom).
     pub fn max_rate(&self) -> f64 {
@@ -407,6 +441,12 @@ impl DemandForecast<'_> {
     /// Expected mean rate over `[from, from + span]`, req/s.
     pub fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64 {
         self.workload.windowed_mean(from, span)
+    }
+
+    /// Largest expected rate within `[from, from + span]`, req/s (see
+    /// [`Workload::peak_over`]) — the pre-warm policy's sizing query.
+    pub fn peak_over(&self, from: SimTime, span: SimDuration) -> f64 {
+        self.workload.peak_over(from, span)
     }
 
     /// Long-run mean rate, req/s.
@@ -690,6 +730,67 @@ mod tests {
         let crowd = Workload::new(WorkloadKind::flash_crowd(), 100.0);
         assert!(crowd.min_rate() > 0.0);
         assert!(crowd.min_rate() < 100.0);
+    }
+
+    #[test]
+    fn peak_over_sees_a_coming_spike_the_mean_smears() {
+        // Flash crowd at 100 req/s base: spike opens at hour 1. A 15-minute
+        // lookahead just before the ramp must report the spike peak, while
+        // the windowed mean barely moves — exactly why the pre-warm policy
+        // sizes on the peak.
+        let wl = Workload::new(WorkloadKind::flash_crowd(), 100.0);
+        let before = SimTime::from_secs(3600.0 - 300.0);
+        let span = SimDuration::from_secs(900.0);
+        let peak = wl.peak_over(before, span);
+        let mean = wl.windowed_mean(before, span);
+        assert!(peak > wl.mean_rate() * 3.0, "peak {peak}");
+        assert!(mean < peak * 0.6, "mean {mean} vs peak {peak}");
+        // Far from any spike the peak is the baseline.
+        let calm = wl.peak_over(SimTime::from_secs(100.0), SimDuration::from_secs(600.0));
+        assert!(calm < wl.mean_rate(), "calm peak {calm}");
+        // The forecast view agrees, and MMPP (unforecastable bursts)
+        // answers with its stationary mean.
+        assert_eq!(wl.forecast().peak_over(before, span), peak);
+        let mmpp = Workload::new(WorkloadKind::mmpp(), 100.0);
+        assert_eq!(mmpp.peak_over(before, span), 100.0);
+        // A replay trace reports its loudest empirical stretch.
+        let bursty = Workload::new(
+            WorkloadKind::Replay {
+                trace: synthetic_trace(),
+                looping: true,
+            },
+            100.0,
+        );
+        let p = bursty.peak_over(SimTime::ZERO, SimDuration::from_secs(2.0));
+        assert!(p > 100.0, "replay peak {p} should exceed its mean");
+    }
+
+    #[test]
+    fn replay_peak_over_resolves_bursts_narrower_than_the_scan_span() {
+        // A 36-second burst inside a one-hour recording, probed with a
+        // one-hour lookahead: a fixed coarse sampling grid (the original
+        // 32-step scan: one sample every 112.5 s against a 36 s rate
+        // window) leaves most of the lookahead unobserved and reports the
+        // baseline; scanning at the estimator's own resolution must see
+        // the burst. Keep the base rate equal to the recording's mean so
+        // no rescaling blurs the timing.
+        let mut times: Vec<f64> = (0..3600).map(|i| i as f64 + 0.5).collect(); // 1 req/s
+        times.extend((0..400).map(|i| 150.0 + i as f64 * 0.0125)); // burst at 150 s
+        let n = times.len() as f64;
+        let trace = ArrivalTrace::new(times, 3600.0);
+        let wl = Workload::new(
+            WorkloadKind::Replay {
+                trace,
+                looping: false,
+            },
+            n / 3600.0,
+        );
+        let peak = wl.peak_over(SimTime::ZERO, SimDuration::from_secs(3600.0));
+        assert!(
+            peak > wl.mean_rate() * 4.0,
+            "peak {peak} missed the burst (mean {})",
+            wl.mean_rate()
+        );
     }
 
     #[test]

@@ -160,6 +160,69 @@ impl RateCurve {
         sum * h / (b_s - a_s)
     }
 
+    /// The largest rate the curve reaches inside `[a_s, b_s]` — exact, via
+    /// the curve's critical points (sinusoid crests, control points,
+    /// trapezoid breakpoints) rather than sampling. This is the lookahead
+    /// query a pre-warming autoscaler plans against: "what is the worst
+    /// demand the forecast predicts within my provisioning horizon?"
+    ///
+    /// # Panics
+    /// Panics on an empty window (`b_s <= a_s`).
+    pub fn max_over(&self, a_s: f64, b_s: f64) -> f64 {
+        assert!(b_s > a_s, "empty max window");
+        let endpoints = self.rate_at(a_s).max(self.rate_at(b_s));
+        match self {
+            RateCurve::Constant(v) => *v,
+            RateCurve::Sinusoid {
+                amplitude_rps,
+                period_s,
+                phase_s,
+                mean_rps,
+            } => {
+                // Interior maxima are crests: sin(TAU (t + phase)/period)
+                // = ±1 (sign of the amplitude). If the window contains
+                // one, the max is the crest value; otherwise the curve is
+                // monotone between crests/troughs and endpoints suffice.
+                let quarter = if *amplitude_rps >= 0.0 { 0.25 } else { 0.75 };
+                let first_crest = (quarter * period_s - phase_s)
+                    + ((a_s - (quarter * period_s - phase_s)) / period_s).ceil() * period_s;
+                if first_crest <= b_s {
+                    (mean_rps + amplitude_rps.abs()).max(0.0)
+                } else {
+                    endpoints
+                }
+            }
+            RateCurve::PiecewiseLinear { points } => points
+                .iter()
+                .filter(|&&(t, _)| t >= a_s && t <= b_s)
+                .map(|&(_, r)| r.max(0.0))
+                .fold(endpoints, f64::max),
+            RateCurve::FlashCrowd {
+                period_s,
+                ramp_s,
+                hold_s,
+                ..
+            } => {
+                // The trapezoid's breakpoints within the window; the
+                // plateau is the only interior maximum.
+                let start = period_s / 2.0;
+                let mut best = endpoints;
+                let first_period = (a_s / period_s).floor() as i64;
+                let last_period = (b_s / period_s).floor() as i64;
+                for k in first_period..=last_period {
+                    let base_t = k as f64 * period_s + start;
+                    for off in [*ramp_s, ramp_s + hold_s] {
+                        let t = base_t + off;
+                        if t >= a_s && t <= b_s {
+                            best = best.max(self.rate_at(t));
+                        }
+                    }
+                }
+                best
+            }
+        }
+    }
+
     /// Long-run mean rate: over one period for periodic curves, over the
     /// defined span for piecewise-linear ones, the value itself for
     /// constants.
@@ -379,6 +442,56 @@ mod tests {
         let s = c.scaled(2.0);
         assert!((s.long_run_mean() - 100.0).abs() < 0.1);
         assert!((s.max_rate() - 140.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_over_finds_interior_crests_exactly() {
+        let sin = RateCurve::Sinusoid {
+            mean_rps: 100.0,
+            amplitude_rps: 60.0,
+            period_s: 100.0,
+            phase_s: 0.0,
+        };
+        // Crest at t = 25 (+k·100). A window containing it reports the
+        // crest; one strictly between crest and trough reports an endpoint.
+        assert!((sin.max_over(20.0, 30.0) - 160.0).abs() < 1e-9);
+        assert!((sin.max_over(30.0, 40.0) - sin.rate_at(30.0)).abs() < 1e-9);
+        assert!((sin.max_over(60.0, 130.0) - 160.0).abs() < 1e-9); // next crest
+                                                                   // Negative amplitude flips the crest to the 3/4 point.
+        let neg = RateCurve::Sinusoid {
+            mean_rps: 100.0,
+            amplitude_rps: -60.0,
+            period_s: 100.0,
+            phase_s: 0.0,
+        };
+        assert!((neg.max_over(70.0, 80.0) - 160.0).abs() < 1e-9);
+
+        let pw = RateCurve::PiecewiseLinear {
+            points: vec![(0.0, 10.0), (50.0, 90.0), (100.0, 10.0)],
+        };
+        assert!((pw.max_over(0.0, 100.0) - 90.0).abs() < 1e-9);
+        assert!((pw.max_over(0.0, 25.0) - pw.rate_at(25.0)).abs() < 1e-9);
+
+        let fc = RateCurve::FlashCrowd {
+            base_rps: 10.0,
+            spike_mult: 4.0,
+            period_s: 1000.0,
+            ramp_s: 50.0,
+            hold_s: 100.0,
+        };
+        // Spike opens at 500: a window ending mid-ramp sees the partial
+        // rise, one covering the plateau sees the full peak.
+        assert_eq!(fc.max_over(0.0, 400.0), 10.0);
+        assert!((fc.max_over(400.0, 525.0) - 25.0).abs() < 1e-9);
+        assert_eq!(fc.max_over(400.0, 600.0), 40.0);
+        assert_eq!(fc.max_over(900.0, 1600.0), 40.0); // next period's spike
+        assert_eq!(RateCurve::Constant(7.0).max_over(3.0, 9.0), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty max window")]
+    fn max_over_rejects_empty_window() {
+        let _ = RateCurve::Constant(1.0).max_over(5.0, 5.0);
     }
 
     #[test]

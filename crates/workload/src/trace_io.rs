@@ -115,14 +115,23 @@ impl ArrivalTrace {
         }
     }
 
-    /// Empirical rate around global time `t_s`, req/s: arrivals within a
-    /// centered window (1% of the span, at least one mean inter-arrival
-    /// time) divided by the window. With `looping`, the trace extends
-    /// periodically; otherwise times outside the recording count as silent.
-    pub fn empirical_rate_at(&self, t_s: f64, looping: bool) -> f64 {
-        let w = (self.span_s * 0.01)
+    /// Width of the centered window [`ArrivalTrace::empirical_rate_at`]
+    /// estimates over, seconds: 1% of the span, at least two mean
+    /// inter-arrival times, at most the whole recording. This is the
+    /// finest burst the empirical rate can resolve — consumers scanning
+    /// for peaks should sample at least this densely.
+    pub fn rate_window_s(&self) -> f64 {
+        (self.span_s * 0.01)
             .max(2.0 / self.mean_rps())
-            .min(self.span_s);
+            .min(self.span_s)
+    }
+
+    /// Empirical rate around global time `t_s`, req/s: arrivals within a
+    /// centered window (see [`ArrivalTrace::rate_window_s`]) divided by
+    /// the window. With `looping`, the trace extends periodically;
+    /// otherwise times outside the recording count as silent.
+    pub fn empirical_rate_at(&self, t_s: f64, looping: bool) -> f64 {
+        let w = self.rate_window_s();
         let (lo, hi) = (t_s - w / 2.0, t_s + w / 2.0);
         let count = if looping {
             // Count arrivals in [lo, hi) of the periodic extension.

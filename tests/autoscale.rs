@@ -7,11 +7,12 @@
 //! between serial and parallel execution (the scaler consumes no
 //! randomness, so thread interleaving has nothing to perturb).
 
-use clover::core::autoscale::ScalingPolicy;
+use clover::core::autoscale::{FleetState, Scaler, ScalerConfig, ScalingPolicy};
 use clover::core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover::core::schedulers::SchemeKind;
 use clover::models::zoo::Application;
-use clover::workload::WorkloadKind;
+use clover::simkit::SimTime;
+use clover::workload::{Workload, WorkloadKind};
 
 /// One diurnal day on a 4-GPU fleet. The generous SLA headroom keeps both
 /// policies comfortably SLA-compliant, so the comparison isolates carbon.
@@ -144,6 +145,190 @@ fn autoscaled_grids_are_bit_identical_serial_vs_parallel() {
     // The policies are genuinely different experiments for at least one
     // scheme (otherwise this grid would pin nothing).
     assert_ne!(serial[0], serial[6], "static vs forecast digests collide");
+}
+
+/// Seed-sweep property tests for the pre-warm policy (the repo's
+/// deterministic stand-in for proptest, see ROADMAP "Offline stubs"): each
+/// seed derives a different flash-crowd workload, fleet geometry, and
+/// cooldown/drain configuration, and every derived scenario must satisfy
+/// the policy's invariants:
+///
+/// 1. the fleet partition always accounts for every provisioned GPU and
+///    never exceeds `n_gpus`;
+/// 2. powered capacity is **monotone non-decreasing ahead of a forecast
+///    ramp** — from the step where the lookahead first sees the spike to
+///    the end of its plateau, the policy may only hold or grow;
+/// 3. the active floor is respected, cooldown spaces scaling actions, and
+///    draining boards are never re-conscripted mid-drain.
+#[test]
+fn prewarm_seed_sweep_properties() {
+    for seed in 0u64..16 {
+        // Deterministic parameter derivation: small fleets to large, weak
+        // spikes to violent ones, cooldowns and drains on and off.
+        let n_gpus = 3 + (seed % 4) as usize; // 3..=6
+        let cap_rps = 30.0 + (seed % 5) as f64 * 10.0; // 30..=70
+        let base_rps = cap_rps * 0.9; // calm ≈ 1 GPU's load
+        let spike_mult = 2.5 + (seed % 3) as f64; // 2.5..=4.5
+        let cooldown = (seed % 2) as u32;
+        let drain = 1 + (seed % 3) as u32;
+        let workload = Workload::new(
+            WorkloadKind::FlashCrowd {
+                spike_mult,
+                period_hours: 2.0,
+                ramp_s: 120.0,
+                hold_s: 600.0,
+            },
+            base_rps,
+        );
+        let lookahead_h = 0.25;
+        let mut cfg = ScalerConfig::new(
+            ScalingPolicy::PreWarm {
+                lookahead_hours: lookahead_h,
+            },
+            1,
+            n_gpus,
+            cap_rps,
+        );
+        cfg.cooldown_epochs = cooldown;
+        cfg.drain_epochs = drain;
+        let mut scaler = Scaler::new(cfg);
+
+        let epoch_s = 120.0;
+        let steps = (3.0 * 3600.0 / epoch_s) as usize; // 1.5 spike periods
+        let fleet: Vec<FleetState> = (0..steps)
+            .map(|i| scaler.step(SimTime::from_secs(i as f64 * epoch_s), &workload.forecast()))
+            .collect();
+
+        let label = format!("seed {seed} (n={n_gpus}, cap={cap_rps}, mult={spike_mult})");
+        // (1) Partition closure and bounds, every step.
+        for (i, f) in fleet.iter().enumerate() {
+            assert_eq!(
+                f.active + f.warming + f.draining + f.off,
+                n_gpus,
+                "{label}: partition leaked at step {i}: {f:?}"
+            );
+            assert!(f.powered() <= n_gpus, "{label}: overshoot at step {i}");
+            assert!(f.active >= 1, "{label}: fell below the floor at step {i}");
+        }
+        // (2) Monotone non-decreasing powered capacity ahead of the ramp:
+        // the spike opens at 3600 s; the lookahead sees it from
+        // 3600 - lookahead. Give the first visible step one epoch to act
+        // (plus the cooldown if one is configured), then demand monotone
+        // growth or hold until the plateau ends.
+        let visible = ((3600.0 - lookahead_h * 3600.0) / epoch_s).ceil() as usize + 1;
+        let plateau_end = ((3600.0 + 120.0 + 600.0) / epoch_s) as usize;
+        for i in visible..plateau_end {
+            assert!(
+                fleet[i + 1].powered() >= fleet[i].powered(),
+                "{label}: powered capacity shrank ahead of/inside the spike at step {}:
+                 {:?} -> {:?}",
+                i,
+                fleet[i],
+                fleet[i + 1]
+            );
+        }
+        // The spike was actually answered: by the plateau the powered
+        // (active + warming) capacity either absorbs the forecast peak
+        // below the scale-up threshold — the point where the policy
+        // correctly stops growing — or the whole fleet is committed.
+        let peak_rps = workload.max_rate();
+        let at_plateau = &fleet[(3720.0 / epoch_s) as usize];
+        let powered_serving = at_plateau.active + at_plateau.warming;
+        assert!(
+            peak_rps <= powered_serving as f64 * cap_rps * 0.8 + 1e-9 || powered_serving == n_gpus,
+            "{label}: plateau peak {peak_rps} req/s outruns the powered fleet {at_plateau:?}"
+        );
+        // (3a) Cooldown spaces scaling *actions* (new warming batches or
+        // retirements — observable as warming growth or active shrink).
+        let mut last_action: Option<usize> = None;
+        for i in 1..fleet.len() {
+            let grew = fleet[i].warming > fleet[i - 1].warming;
+            let shrank = fleet[i].active < fleet[i - 1].active;
+            if grew || shrank {
+                if let Some(prev) = last_action {
+                    assert!(
+                        i - prev > cooldown as usize,
+                        "{label}: actions at steps {prev} and {i} violate a \
+                         {cooldown}-epoch cooldown"
+                    );
+                }
+                last_action = Some(i);
+            }
+        }
+        // (3b) Draining boards are never re-conscripted: while anything is
+        // draining, active + warming may only grow out of genuinely `off`
+        // boards, so powered() never exceeds the provisioned count (checked
+        // above) *and* the draining count itself never jumps upward while
+        // warming grows in the same step (a board cannot be in two states).
+        for w in fleet.windows(2) {
+            if w[1].warming > w[0].warming {
+                assert!(
+                    w[1].draining <= w[0].draining,
+                    "{label}: a draining board was conscripted: {:?} -> {:?}",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
+    }
+}
+
+/// The pre-warm acceptance gate (`fig_flashcrowd`'s cells 5 vs 7, scaled
+/// down): under a forecastable flash crowd served continuously at a
+/// 2-minute cadence, the pre-warm policy meets the SLA at **no more
+/// carbon than the reactive loop** — the lookahead has the fleet warm
+/// before each ramp, and forecast insurance lets it run lean in between.
+#[test]
+fn prewarm_meets_the_flash_crowd_sla_at_no_more_carbon_than_reactive() {
+    let run = |policy: ScalingPolicy| {
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(SchemeKind::Base)
+            .workload(WorkloadKind::FlashCrowd {
+                spike_mult: 2.5,
+                period_hours: 2.0,
+                ramp_s: 300.0,
+                hold_s: 1800.0,
+            })
+            .scaling(policy)
+            .control_epoch_s(120.0)
+            .fidelity(clover::core::control::Fidelity::FullEpoch)
+            .n_gpus(8)
+            .min_gpus(2)
+            .horizon_hours(6.0)
+            .utilization(0.4)
+            .sla_headroom(2.2)
+            .seed(2023)
+            .build();
+        Experiment::new(cfg).run()
+    };
+    let reactive = run(ScalingPolicy::reactive());
+    let prewarm = run(ScalingPolicy::PreWarm {
+        lookahead_hours: 0.075,
+    });
+    assert!(reactive.sla_met, "reactive baseline lost the crowd");
+    assert!(
+        prewarm.sla_met,
+        "prewarm missed the SLA: p95/sla {:.2}",
+        prewarm.p95_s / prewarm.sla_p95_s
+    );
+    assert!(
+        prewarm.total_carbon_g <= reactive.total_carbon_g,
+        "prewarm burned more carbon ({} g) than the reactive loop ({} g)",
+        prewarm.total_carbon_g,
+        reactive.total_carbon_g
+    );
+    // The saving has a mechanism: a leaner mean fleet, not an accounting
+    // artifact — and the crowd is still answered (the full fleet shows up).
+    assert!(
+        prewarm.mean_active_gpus < reactive.mean_active_gpus,
+        "prewarm fleet {} not leaner than reactive {}",
+        prewarm.mean_active_gpus,
+        reactive.mean_active_gpus
+    );
+    assert!(
+        prewarm.timeline.iter().any(|h| h.active_gpus == 8),
+        "prewarm never brought the full fleet to a crowd"
+    );
 }
 
 /// Autoscaling composes with every scheme: the searching schemes

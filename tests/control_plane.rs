@@ -16,7 +16,8 @@
 //!    names fail with a listing of what exists.
 
 use clover::core::anneal::SaParams;
-use clover::core::control::Fidelity;
+use clover::core::autoscale::ScalingPolicy;
+use clover::core::control::{Fidelity, SearchBudget};
 use clover::core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover::core::schedulers::{
     register_scheduler, registered_schemes, try_make_scheduler, Decision, Scheduler, SchedulerCtx,
@@ -193,6 +194,163 @@ fn sub_hour_and_full_epoch_grids_are_bit_identical_serial_vs_parallel() {
     }
     // The two fidelities are genuinely different experiments.
     assert_ne!(serial[0], serial[1], "window vs full-epoch digests collide");
+}
+
+/// Continuous serving at a 2-minute cadence: one unbroken run, not a
+/// sequence of cold starts. The acceptance gate for the carry-over: at
+/// **every** epoch boundary the cumulative arrivals equal the cumulative
+/// served plus dropped plus the backlog crossing that boundary — no request
+/// silently vanishes or double-counts at a seam — for all five schemes,
+/// and additionally under a reactive fleet (whose resizes force the
+/// reconfiguration re-queue path at the seams).
+#[test]
+fn continuous_epochs_conserve_requests_at_every_boundary() {
+    let cells: Vec<(SchemeKind, ScalingPolicy)> = SchemeKind::ALL
+        .into_iter()
+        .map(|s| (s, ScalingPolicy::Static))
+        .chain([
+            (SchemeKind::Base, ScalingPolicy::reactive()),
+            (SchemeKind::Clover, ScalingPolicy::reactive()),
+        ])
+        .collect();
+    for (scheme, policy) in cells {
+        let label = format!("{scheme}/{}", policy.label());
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(scheme)
+            .workload(clover::workload::WorkloadKind::flash_crowd())
+            .scaling(policy)
+            .n_gpus(2)
+            .horizon_hours(1.0)
+            .control_epoch_s(120.0)
+            .fidelity(Fidelity::FullEpoch)
+            .sla_headroom(2.0)
+            .seed(7)
+            .build();
+        let out = Experiment::new(cfg).run();
+        assert_eq!(out.timeline.len(), 30, "{label}");
+        let (mut arrived, mut served, mut dropped) = (0u64, 0u64, 0u64);
+        for (i, h) in out.timeline.iter().enumerate() {
+            arrived += h.arrived;
+            served += h.served;
+            dropped += h.dropped;
+            assert_eq!(
+                arrived,
+                served + dropped + h.backlog,
+                "{label}: conservation broke at epoch {i}"
+            );
+        }
+        assert!(arrived > 0, "{label}: nothing arrived");
+        // The continuity is real: some boundary carries live state (a
+        // 2-minute epoch at production load always has work in flight).
+        assert!(
+            out.timeline.iter().any(|h| h.backlog > 0),
+            "{label}: no epoch boundary carried any state — still cold-starting?"
+        );
+        // The representative-window path, by contrast, always drains.
+        assert!(
+            out.served_scaled > 0.0,
+            "{label}: continuous run served nothing"
+        );
+    }
+}
+
+/// The continuous path stays deterministic: a 2-minute full-epoch grid
+/// (all five schemes, carry-over active at every seam) produces
+/// byte-identical digests between serial and parallel execution.
+#[test]
+fn continuous_full_epoch_grid_is_bit_identical_serial_vs_parallel() {
+    let configs: Vec<ExperimentConfig> = SchemeKind::ALL
+        .into_iter()
+        .map(|scheme| {
+            ExperimentConfig::builder(Application::ImageClassification)
+                .scheme(scheme)
+                .workload(clover::workload::WorkloadKind::flash_crowd())
+                .n_gpus(2)
+                .horizon_hours(1.0)
+                .control_epoch_s(120.0)
+                .fidelity(Fidelity::FullEpoch)
+                .sla_headroom(2.0)
+                .seed(23)
+                .build()
+        })
+        .collect();
+    let serial: Vec<u64> = Experiment::run_cells(configs.clone(), 1)
+        .iter()
+        .map(ExperimentOutcome::digest)
+        .collect();
+    for threads in [2, 4] {
+        let parallel: Vec<u64> = Experiment::run_cells(configs.clone(), threads)
+            .iter()
+            .map(ExperimentOutcome::digest)
+            .collect();
+        assert_eq!(
+            serial, parallel,
+            "{threads}-thread continuous full-epoch grid diverged"
+        );
+    }
+}
+
+/// Epoch-scaled search budgets: invisible at the hourly default (the cap
+/// sits exactly at the paper's 300 s budget), binding at sub-hour cadences
+/// (each invocation's charged live time is capped proportionally).
+#[test]
+fn search_budget_scales_with_the_epoch_and_not_with_the_default() {
+    // Hourly: EpochScaled and Fixed are the same experiment, bit for bit.
+    let hourly = |budget: SearchBudget| {
+        ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(SchemeKind::Clover)
+            .n_gpus(4)
+            .horizon_hours(6.0)
+            .sim_window_s(20.0)
+            .search_budget(budget)
+            .seed(3)
+            .build()
+    };
+    let scaled = Experiment::new(hourly(SearchBudget::epoch_scaled())).run();
+    let fixed = Experiment::new(hourly(SearchBudget::Fixed)).run();
+    assert_eq!(
+        scaled.digest(),
+        fixed.digest(),
+        "epoch scaling must be invisible at the hourly default"
+    );
+
+    // 10-minute epochs: the scaled budget caps each invocation's charged
+    // live time at 600/12 = 50 s (plus at most one in-flight evaluation),
+    // where the fixed budget still allows the paper's full 300 s.
+    let sub_hour = |budget: SearchBudget| {
+        let cfg = ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(SchemeKind::Clover)
+            .n_gpus(4)
+            .horizon_hours(2.0)
+            .control_epoch_s(600.0)
+            .sim_window_s(20.0)
+            .search_budget(budget)
+            .seed(3)
+            .build();
+        Experiment::new(cfg).run()
+    };
+    let scaled = sub_hour(SearchBudget::epoch_scaled());
+    let fixed = sub_hour(SearchBudget::Fixed);
+    let cap_s = 600.0 / 12.0;
+    let max_eval_s = 40.0; // reconfig downtime + one measurement window
+    for inv in &scaled.invocations {
+        assert!(
+            inv.time_spent_s <= cap_s + max_eval_s,
+            "scaled invocation spent {} s against a {} s cap",
+            inv.time_spent_s,
+            cap_s
+        );
+    }
+    assert!(
+        scaled.optimization_time_s <= fixed.optimization_time_s,
+        "scaled budget ({} s total) should not out-spend the fixed one ({} s)",
+        scaled.optimization_time_s,
+        fixed.optimization_time_s
+    );
+    assert!(
+        scaled.evals_total() > 0,
+        "the capped search must still evaluate candidates"
+    );
 }
 
 /// A trivial registered scheme: BASE's layout under a custom name, proving
