@@ -10,7 +10,7 @@
 //! policies converge, because hourly scaling epochs cannot track bursts —
 //! the honest negative result that motivates burst-aware optimization.
 
-use clover_bench::{bench_threads, header, scaled_horizon};
+use clover_bench::{bench_threads, header, log_line, scaled_horizon, LogLevel};
 use clover_core::autoscale::ScalingPolicy;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
@@ -61,15 +61,23 @@ fn main() {
         .collect();
     let outs = Experiment::run_cells(configs, bench_threads());
 
-    println!(
+    log_line!(
+        LogLevel::Info,
         "{:<12} {:<10} {:>12} {:>14} {:>12} {:>10} {:>6}",
-        "workload", "policy", "carbon_kg", "vs static %", "mean_gpus", "p95/sla", "sla"
+        "workload",
+        "policy",
+        "carbon_kg",
+        "vs static %",
+        "mean_gpus",
+        "p95/sla",
+        "sla"
     );
     for row in outs.chunks(policies().len()) {
         let static_carbon = row[0].total_carbon_g;
         for out in row {
             let vs_static = (out.total_carbon_g - static_carbon) / static_carbon * 100.0;
-            println!(
+            log_line!(
+                LogLevel::Info,
                 "{:<12} {:<10} {:>12.2} {:>+14.1} {:>12.2} {:>10.2} {:>6}",
                 out.workload,
                 out.scaling,
@@ -80,18 +88,22 @@ fn main() {
                 if out.sla_met { "ok" } else { "VIOL" }
             );
         }
-        println!();
+        log_line!(LogLevel::Info, "");
     }
 
     // The acceptance check this figure exists for, stated in its output.
     let diurnal: Vec<&ExperimentOutcome> = outs[..policies().len()].iter().collect();
     let (stat, fore) = (diurnal[0], diurnal[2]);
     let saved = (stat.total_carbon_g - fore.total_carbon_g) / stat.total_carbon_g * 100.0;
-    println!(
+    log_line!(
+        LogLevel::Info,
         "diurnal: forecast scaling saves {saved:.1}% operational carbon vs the static fleet \
          (SLA {} vs {})",
         if fore.sla_met { "met" } else { "VIOLATED" },
         if stat.sla_met { "met" } else { "VIOLATED" },
     );
-    println!("(mmpp/flash-crowd: hourly epochs cannot track sub-hour bursts; policies converge)");
+    log_line!(
+        LogLevel::Info,
+        "(mmpp/flash-crowd: hourly epochs cannot track sub-hour bursts; policies converge)"
+    );
 }

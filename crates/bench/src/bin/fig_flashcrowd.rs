@@ -48,13 +48,20 @@
 //! catches what hourly epochs miss); cells 6 and 7 meet the SLA at less
 //! carbon than their reactive counterparts (forecast insurance replaces
 //! standing headroom — pinned by `tests/autoscale.rs`).
+//!
+//! The run also records each cell's control-plane **decision journal**
+//! (scaler reasons, plan triggers, conservation checkpoints per epoch) and
+//! writes them to `FIG_flashcrowd_journal.jsonl` — the artifact CI uploads
+//! so a scaling regression can be read straight from the decisions that
+//! caused it, without rerunning anything.
 
-use clover_bench::{bench_threads, header, scaled_horizon};
+use clover_bench::{bench_threads, header, log_line, scaled_horizon, LogLevel};
 use clover_core::autoscale::ScalingPolicy;
 use clover_core::control::Fidelity;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
+use clover_telemetry::TelemetrySpec;
 use clover_workload::WorkloadKind;
 
 /// A crowd the hourly loop cannot see coming: the ramp opens at the top of
@@ -159,15 +166,40 @@ fn main() {
     );
     let cells = cells();
     let configs: Vec<ExperimentConfig> = cells.iter().map(config).collect();
-    let outs = Experiment::run_cells(configs, bench_threads());
+    let pairs = Experiment::run_cells_with(configs, bench_threads(), TelemetrySpec::JOURNAL);
 
-    println!(
+    // One JSONL artifact for the whole figure: a `cell` marker line, then
+    // that cell's decision journal verbatim. Journals are deterministic, so
+    // the artifact diffs cleanly across PRs.
+    let mut journal_out = String::new();
+    for (cell, (_, report)) in cells.iter().zip(pairs.iter()) {
+        journal_out.push_str(&format!(
+            "{{\"event\":\"cell\",\"label\":\"{}\",\"control_epoch_s\":{}}}\n",
+            cell.label, cell.epoch_s
+        ));
+        if let Some(j) = report.journal.as_ref() {
+            journal_out.push_str(j.as_str());
+        }
+    }
+    let journal_path = "FIG_flashcrowd_journal.jsonl";
+    std::fs::write(journal_path, &journal_out).expect("write flash-crowd journal");
+
+    let outs: Vec<ExperimentOutcome> = pairs.into_iter().map(|(o, _)| o).collect();
+
+    log_line!(
+        LogLevel::Info,
         "{:<24} {:>10} {:>12} {:>12} {:>10} {:>6}",
-        "cell", "carbon_kg", "vs static %", "mean_gpus", "p95/sla", "sla"
+        "cell",
+        "carbon_kg",
+        "vs static %",
+        "mean_gpus",
+        "p95/sla",
+        "sla"
     );
     let static_carbon = outs[0].total_carbon_g;
     for (cell, out) in cells.iter().zip(outs.iter()) {
-        println!(
+        log_line!(
+            LogLevel::Info,
             "{:<24} {:>10.2} {:>+12.1} {:>12.2} {:>10.2} {:>6}",
             cell.label,
             out.total_carbon_g / 1000.0,
@@ -177,7 +209,7 @@ fn main() {
             if out.sla_met { "ok" } else { "VIOL" }
         );
     }
-    println!();
+    log_line!(LogLevel::Info, "");
 
     let by_label = |label: &str| -> &ExperimentOutcome {
         cells
@@ -193,7 +225,8 @@ fn main() {
     let warm10 = by_label("10min/full/prewarm");
 
     // The fidelity artifact: same hourly decisions, opposite verdicts.
-    println!(
+    log_line!(
+        LogLevel::Info,
         "fidelity artifact: hourly reactive measures p95/sla {:.2} through its representative \
          window but {:.2} when the whole epoch is simulated — the crowd falls between windows",
         blind.p95_s / blind.sla_p95_s,
@@ -201,7 +234,8 @@ fn main() {
     );
     // The cadence win: sub-hour reaction bounds the tail the hourly loop
     // cannot, while still beating the static fleet on carbon.
-    println!(
+    log_line!(
+        LogLevel::Info,
         "cadence win: 2-minute epochs cut the honest p95/sla from {:.2} to {:.2} ({} the SLA) \
          at {:.1}% less carbon than the static fleet",
         honest.p95_s / honest.sla_p95_s,
@@ -217,7 +251,8 @@ fn main() {
     // lookahead sees the ramp coming) and lean in between (forecast
     // insurance replaces the reactive policy's standing headroom), so the
     // SLA is met at *less* carbon than reaction at the same cadence.
-    println!(
+    log_line!(
+        LogLevel::Info,
         "pre-warm win: at 2-minute epochs the forecast-peak policy holds p95/sla {:.2} vs \
          reactive {:.2} ({} the SLA) at {:+.1}% carbon vs reactive and {:.1}% less than static; \
          at 10-minute epochs pre-warming already {} the SLA (p95/sla {:.2}) where reactive is \
@@ -233,7 +268,8 @@ fn main() {
     // The continuity dividend: backlog crossing epoch boundaries is real
     // state the cold-start path silently discarded.
     let peak_backlog = |o: &ExperimentOutcome| o.timeline.iter().map(|h| h.backlog).max().unwrap();
-    println!(
+    log_line!(
+        LogLevel::Info,
         "continuity: the 2-minute reactive run carries up to {} requests across an epoch \
          boundary mid-crowd (pre-warm: {}) — state a cold-start-per-epoch simulation would drop",
         peak_backlog(fast),
@@ -246,11 +282,18 @@ fn main() {
             .filter(|w| w[0].active_gpus != w[1].active_gpus)
             .count()
     };
-    println!(
+    log_line!(
+        LogLevel::Info,
         "the 2-minute fleet resized {} times over {} epochs (hourly reactive: {} over {})",
         resizes(fast),
         fast.timeline.len(),
         resizes(honest),
         honest.timeline.len(),
+    );
+    log_line!(LogLevel::Info, "");
+    log_line!(
+        LogLevel::Info,
+        "wrote {journal_path} ({} cells' decision journals)",
+        cells.len()
     );
 }

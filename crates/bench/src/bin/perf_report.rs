@@ -1,19 +1,35 @@
 //! Engine performance report: wall time per experiment grid (serial vs
-//! parallel), DES events/sec, and per-window allocation counts, emitted as
-//! machine-readable `BENCH_engine.json` so the performance trajectory of
-//! the engine is tracked across PRs.
+//! parallel, median of N runs), DES events/sec, per-window allocation
+//! counts, and a per-phase wall-time breakdown (scheduler plan / SA search
+//! / DES / scaler / carry), emitted as machine-readable
+//! `BENCH_engine.json` so the performance trajectory of the engine is
+//! tracked across PRs (see `docs/perf-ledger.md` for how claims built on
+//! these numbers are accepted or rejected).
 //!
-//! The report doubles as the determinism gate for the parallel engine: for
-//! every grid the parallel fan-out's outcome digests are compared against
-//! the serial reference and the process exits non-zero on any divergence,
-//! which is what CI keys off.
+//! The report triples as the correctness gate CI keys off; the process
+//! exits non-zero when any of these fail:
+//!
+//! - **determinism** — for every grid, the parallel fan-out's outcome
+//!   digests (telemetry *enabled*, profiling) must equal the serial
+//!   reference's (telemetry *disabled*), which simultaneously pins
+//!   serial-vs-parallel byte-identity and that profiling never perturbs
+//!   results;
+//! - **telemetry overhead** — the fully-enabled serial run of the largest
+//!   grid must stay within 1% (or 50 ms absolute, whichever is larger —
+//!   the noise guard for very fast grids) of the disabled baseline;
+//! - **journal determinism** — the continuous full-epoch grid's decision
+//!   journals must be byte-identical between serial and parallel runs.
 //!
 //! Environment knobs:
 //! - `CLOVER_PERF_HOURS`   — simulated horizon per cell (default 6).
 //! - `CLOVER_PERF_THREADS` — parallel worker count (default 4).
+//! - `CLOVER_BENCH_RUNS`   — timed repetitions per grid (default 3);
+//!   medians are reported, min/max bound the spread.
+//! - `CLOVER_LOG`          — `quiet` silences the tables (the JSON artifact
+//!   is still written), `info` (default) prints them.
 //! - `CLOVER_BENCH_SCALE`  — ignored here; the grids are already smoke-sized.
 
-use clover_bench::header;
+use clover_bench::{header, log_line, LogLevel};
 use clover_core::control::Fidelity;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
@@ -21,6 +37,7 @@ use clover_models::zoo::Application;
 use clover_models::PerfModel;
 use clover_serving::{Deployment, ServingSim};
 use clover_simkit::SimDuration;
+use clover_telemetry::{Phase, PhaseTotals, TelemetrySpec};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -77,6 +94,39 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Median / min / max over a set of timed runs.
+#[derive(Clone, Copy)]
+struct Spread {
+    median: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Spread {
+    fn of(mut walls: Vec<f64>) -> Spread {
+        assert!(!walls.is_empty(), "spread of zero runs");
+        walls.sort_by(f64::total_cmp);
+        let n = walls.len();
+        let median = if n % 2 == 1 {
+            walls[n / 2]
+        } else {
+            0.5 * (walls[n / 2 - 1] + walls[n / 2])
+        };
+        Spread {
+            median,
+            min: walls[0],
+            max: walls[n - 1],
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"median_s\": {:.6}, \"min_s\": {:.6}, \"max_s\": {:.6}}}",
+            self.median, self.min, self.max
+        )
+    }
+}
+
 /// A named experiment grid: one parallel fan-out whose serial run is the
 /// determinism reference.
 struct Grid {
@@ -94,6 +144,39 @@ fn smoke_config(app: Application, scheme: SchemeKind, seed: u64, hours: f64) -> 
         .build()
 }
 
+fn table1_configs(hours: f64) -> Vec<ExperimentConfig> {
+    Application::ALL
+        .into_iter()
+        .flat_map(|app| {
+            [
+                SchemeKind::Base,
+                SchemeKind::Co2Opt,
+                SchemeKind::Blover,
+                SchemeKind::Clover,
+            ]
+            .into_iter()
+            .map(move |s| smoke_config(app, s, 2023, hours))
+        })
+        .collect()
+}
+
+fn continuous_full_epoch_configs(hours: f64) -> Vec<ExperimentConfig> {
+    [SchemeKind::Base, SchemeKind::Clover]
+        .into_iter()
+        .map(|scheme| {
+            ExperimentConfig::builder(Application::ImageClassification)
+                .scheme(scheme)
+                .workload(clover_workload::WorkloadKind::flash_crowd())
+                .fidelity(Fidelity::FullEpoch)
+                .control_epoch_s(120.0)
+                .n_gpus(4)
+                .horizon_hours(hours.min(2.0))
+                .seed(2023)
+                .build()
+        })
+        .collect()
+}
+
 fn grids(hours: f64) -> Vec<Grid> {
     let mut out = Vec::new();
     // The Table-1 application matrix crossed with every online scheme
@@ -101,19 +184,7 @@ fn grids(hours: f64) -> Vec<Grid> {
     // the smoke grid).
     out.push(Grid {
         name: "table1_app_scheme_matrix",
-        configs: Application::ALL
-            .into_iter()
-            .flat_map(|app| {
-                [
-                    SchemeKind::Base,
-                    SchemeKind::Co2Opt,
-                    SchemeKind::Blover,
-                    SchemeKind::Clover,
-                ]
-                .into_iter()
-                .map(move |s| smoke_config(app, s, 2023, hours))
-            })
-            .collect(),
+        configs: table1_configs(hours),
     });
     // Fig. 9's shape: Clover across the applications.
     out.push(Grid {
@@ -168,20 +239,7 @@ fn grids(hours: f64) -> Vec<Grid> {
     // carry-over machinery.
     out.push(Grid {
         name: "continuous_full_epoch",
-        configs: [SchemeKind::Base, SchemeKind::Clover]
-            .into_iter()
-            .map(|scheme| {
-                ExperimentConfig::builder(Application::ImageClassification)
-                    .scheme(scheme)
-                    .workload(clover_workload::WorkloadKind::flash_crowd())
-                    .fidelity(Fidelity::FullEpoch)
-                    .control_epoch_s(120.0)
-                    .n_gpus(4)
-                    .horizon_hours(hours.min(2.0))
-                    .seed(2023)
-                    .build()
-            })
-            .collect(),
+        configs: continuous_full_epoch_configs(hours),
     });
     out
 }
@@ -189,34 +247,69 @@ fn grids(hours: f64) -> Vec<Grid> {
 struct GridResult {
     name: &'static str,
     cells: usize,
-    serial_wall_s: f64,
-    parallel_wall_s: f64,
+    serial: Spread,
+    parallel: Spread,
     speedup: f64,
     sim_events: u64,
     serial_events_per_sec: f64,
+    /// Per-phase wall time, summed over the cells of one profiled parallel
+    /// run (phase totals are wall-clock and vary run to run; one run's
+    /// breakdown is the representative shape, not a determinism surface).
+    phases: PhaseTotals,
     deterministic: bool,
 }
 
-fn run_grid(grid: Grid, threads: usize) -> GridResult {
+/// Times `runs` serial (telemetry disabled — the unchanged baseline) and
+/// `runs` parallel (phase profiling enabled) executions of the grid.
+/// Every parallel run's outcome digests must equal the serial reference's:
+/// one comparison pins both parallel determinism and that profiling is a
+/// strict overlay.
+fn run_grid(grid: Grid, threads: usize, runs: usize) -> GridResult {
     let cells = grid.configs.len();
-    let t0 = Instant::now();
-    let serial = Experiment::run_cells(grid.configs.clone(), 1);
-    let serial_wall_s = t0.elapsed().as_secs_f64();
-    let t1 = Instant::now();
-    let parallel = Experiment::run_cells(grid.configs, threads);
-    let parallel_wall_s = t1.elapsed().as_secs_f64();
-    let digests: Vec<u64> = serial.iter().map(ExperimentOutcome::digest).collect();
-    let par_digests: Vec<u64> = parallel.iter().map(ExperimentOutcome::digest).collect();
-    let deterministic = digests == par_digests;
-    let sim_events: u64 = serial.iter().map(|o| o.sim_events).sum();
+
+    let mut serial_walls = Vec::with_capacity(runs);
+    let mut reference: Vec<ExperimentOutcome> = Vec::new();
+    for i in 0..runs {
+        let t0 = Instant::now();
+        let outcomes = Experiment::run_cells(grid.configs.clone(), 1);
+        serial_walls.push(t0.elapsed().as_secs_f64());
+        if i == 0 {
+            reference = outcomes;
+        }
+    }
+    let digests: Vec<u64> = reference.iter().map(ExperimentOutcome::digest).collect();
+
+    let mut parallel_walls = Vec::with_capacity(runs);
+    let mut phases = PhaseTotals::default();
+    let mut deterministic = true;
+    for i in 0..runs {
+        let t0 = Instant::now();
+        let pairs =
+            Experiment::run_cells_with(grid.configs.clone(), threads, TelemetrySpec::PROFILING);
+        parallel_walls.push(t0.elapsed().as_secs_f64());
+        let par_digests: Vec<u64> = pairs.iter().map(|(o, _)| o.digest()).collect();
+        deterministic &= par_digests == digests;
+        if i == 0 {
+            for (_, report) in &pairs {
+                if let Some(p) = report.phases.as_ref() {
+                    phases.merge(p);
+                }
+            }
+        }
+    }
+
+    let serial = Spread::of(serial_walls);
+    let parallel = Spread::of(parallel_walls);
+    let sim_events: u64 = reference.iter().map(|o| o.sim_events).sum();
     GridResult {
         name: grid.name,
         cells,
-        serial_wall_s,
-        parallel_wall_s,
-        speedup: serial_wall_s / parallel_wall_s.max(1e-9),
+        serial,
+        parallel,
+        speedup: serial.median / parallel.median.max(1e-9),
         sim_events,
-        serial_events_per_sec: sim_events as f64 / serial_wall_s.max(1e-9),
+        serial_events_per_sec: sim_events as f64 / serial.median.max(1e-9),
+        phases,
         deterministic,
     }
 }
@@ -266,16 +359,93 @@ fn des_microbench() -> DesResult {
     }
 }
 
+struct OverheadResult {
+    disabled: Spread,
+    enabled: Spread,
+    overhead_pct: f64,
+    overhead_abs_s: f64,
+    digests_match: bool,
+    pass: bool,
+}
+
+/// The telemetry overhead gate: the largest grid (the Table-1 matrix) run
+/// serially `runs` times with the no-op sink and `runs` times with every
+/// pillar enabled, interleaved so thermal/load drift hits both arms alike.
+/// Fails when the enabled median exceeds the disabled one by more than 1%
+/// *and* more than 50 ms (the absolute guard keeps sub-second grids from
+/// tripping on scheduler noise), or when the enabled run's outcome digests
+/// diverge from the disabled run's (telemetry must be a strict overlay).
+fn overhead_gate(hours: f64, runs: usize) -> OverheadResult {
+    let configs = table1_configs(hours);
+    let mut disabled_walls = Vec::with_capacity(runs);
+    let mut enabled_walls = Vec::with_capacity(runs);
+    let mut disabled_digests: Vec<u64> = Vec::new();
+    let mut enabled_digests: Vec<u64> = Vec::new();
+    for i in 0..runs {
+        let t0 = Instant::now();
+        let plain = Experiment::run_cells(configs.clone(), 1);
+        disabled_walls.push(t0.elapsed().as_secs_f64());
+        let t1 = Instant::now();
+        let full = Experiment::run_cells_with(configs.clone(), 1, TelemetrySpec::ALL);
+        enabled_walls.push(t1.elapsed().as_secs_f64());
+        if i == 0 {
+            disabled_digests = plain.iter().map(ExperimentOutcome::digest).collect();
+            enabled_digests = full.iter().map(|(o, _)| o.digest()).collect();
+        }
+    }
+    let disabled = Spread::of(disabled_walls);
+    let enabled = Spread::of(enabled_walls);
+    let overhead_abs_s = enabled.median - disabled.median;
+    let overhead_pct = overhead_abs_s / disabled.median.max(1e-9) * 100.0;
+    let digests_match = disabled_digests == enabled_digests;
+    OverheadResult {
+        disabled,
+        enabled,
+        overhead_pct,
+        overhead_abs_s,
+        digests_match,
+        pass: digests_match && (overhead_pct <= 1.0 || overhead_abs_s <= 0.05),
+    }
+}
+
+struct JournalGate {
+    cells: usize,
+    events: u64,
+    deterministic: bool,
+}
+
+/// The journal determinism gate: the continuous full-epoch grid (the
+/// densest event stream — 2-minute epochs, carry-over seams) journaled
+/// serially and in parallel; the per-cell journals must be byte-identical.
+fn journal_gate(hours: f64, threads: usize) -> JournalGate {
+    let configs = continuous_full_epoch_configs(hours);
+    let serial = Experiment::run_cells_with(configs.clone(), 1, TelemetrySpec::JOURNAL);
+    let parallel = Experiment::run_cells_with(configs, threads, TelemetrySpec::JOURNAL);
+    let serial_digests: Vec<u64> = serial.iter().map(|(_, r)| r.journal_digest()).collect();
+    let parallel_digests: Vec<u64> = parallel.iter().map(|(_, r)| r.journal_digest()).collect();
+    JournalGate {
+        cells: serial.len(),
+        events: serial
+            .iter()
+            .filter_map(|(_, r)| r.journal.as_ref())
+            .map(|j| j.len())
+            .sum(),
+        deterministic: serial_digests == parallel_digests,
+    }
+}
+
 fn main() {
     header(
         "perf_report",
-        "Engine wall time, DES throughput, determinism",
+        "Engine wall time, DES throughput, phase breakdown, determinism",
     );
     let hours = env_f64("CLOVER_PERF_HOURS", 6.0);
     let threads = env_usize("CLOVER_PERF_THREADS", 4);
+    let runs = env_usize("CLOVER_BENCH_RUNS", 3);
 
     let des = des_microbench();
-    println!(
+    log_line!(
+        LogLevel::Info,
         "DES hot loop: {} windows, {:.2e} events, {:.0} events/sec, {:.1} allocs/window ({:.0} B)",
         des.windows,
         des.events as f64,
@@ -283,24 +453,39 @@ fn main() {
         des.allocs_per_window,
         des.bytes_per_window
     );
-    println!();
+    log_line!(LogLevel::Info, "");
 
     let mut results = Vec::new();
     for grid in grids(hours) {
-        let r = run_grid(grid, threads);
-        println!(
-            "{:<26} {:>2} cells  serial {:>6.2}s  parallel({}) {:>6.2}s  speedup {:>4.2}x  {}",
+        let r = run_grid(grid, threads, runs);
+        log_line!(
+            LogLevel::Info,
+            "{:<26} {:>2} cells  serial {:>6.2}s [{:.2}..{:.2}]  parallel({}) {:>6.2}s [{:.2}..{:.2}]  speedup {:>4.2}x  {}",
             r.name,
             r.cells,
-            r.serial_wall_s,
+            r.serial.median,
+            r.serial.min,
+            r.serial.max,
             threads,
-            r.parallel_wall_s,
+            r.parallel.median,
+            r.parallel.min,
+            r.parallel.max,
             r.speedup,
             if r.deterministic {
                 "deterministic"
             } else {
                 "DIVERGED"
             }
+        );
+        log_line!(
+            LogLevel::Debug,
+            "{:<26}    phases: plan {:.2}s (search {:.2}s)  des {:.2}s  scaler {:.3}s  carry {:.3}s",
+            "",
+            r.phases.secs(Phase::Plan),
+            r.phases.secs(Phase::Search),
+            r.phases.secs(Phase::Des),
+            r.phases.secs(Phase::Scaler),
+            r.phases.secs(Phase::Carry)
         );
         results.push(r);
     }
@@ -322,17 +507,63 @@ fn main() {
         .find(|r| r.name == "continuous_full_epoch")
         .map(|r| r.serial_events_per_sec)
         .unwrap_or(0.0);
-    println!();
-    println!("full-epoch burst path: {full_epoch_eps:.0} events/sec (serial)");
-    println!("continuous carry-over path: {continuous_eps:.0} events/sec (serial)");
+    log_line!(LogLevel::Info, "");
+    log_line!(
+        LogLevel::Info,
+        "full-epoch burst path: {full_epoch_eps:.0} events/sec (serial)"
+    );
+    log_line!(
+        LogLevel::Info,
+        "continuous carry-over path: {continuous_eps:.0} events/sec (serial)"
+    );
+
+    let overhead = overhead_gate(hours, runs);
+    log_line!(
+        LogLevel::Info,
+        "telemetry overhead (table1, serial, all pillars): {:+.2}% ({:+.3}s), digests {}  [{}]",
+        overhead.overhead_pct,
+        overhead.overhead_abs_s,
+        if overhead.digests_match {
+            "identical"
+        } else {
+            "DIVERGED"
+        },
+        if overhead.pass { "ok" } else { "FAIL" }
+    );
+    let journal = journal_gate(hours, threads);
+    log_line!(
+        LogLevel::Info,
+        "decision journal (continuous grid): {} cells, {} events, serial-vs-parallel {}",
+        journal.cells,
+        journal.events,
+        if journal.deterministic {
+            "byte-identical"
+        } else {
+            "DIVERGED"
+        }
+    );
 
     // Hand-rolled JSON: the offline serde stub does not serialize.
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"schema\": \"clover.bench.engine.v1\",\n");
+    json.push_str("  \"schema\": \"clover.bench.engine.v2\",\n");
     json.push_str(&format!("  \"horizon_hours\": {hours},\n"));
     json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"runs\": {runs},\n"));
     json.push_str(&format!("  \"deterministic\": {all_deterministic},\n"));
+    json.push_str(&format!(
+        "  \"journal_deterministic\": {},\n",
+        journal.deterministic
+    ));
+    json.push_str(&format!(
+        "  \"telemetry_overhead\": {{\"disabled\": {}, \"enabled\": {}, \"overhead_pct\": {:.3}, \"overhead_abs_s\": {:.6}, \"digests_match\": {}, \"pass\": {}}},\n",
+        overhead.disabled.json(),
+        overhead.enabled.json(),
+        overhead.overhead_pct,
+        overhead.overhead_abs_s,
+        overhead.digests_match,
+        overhead.pass
+    ));
     json.push_str(&format!(
         "  \"full_epoch_events_per_sec\": {full_epoch_eps:.1},\n"
     ));
@@ -345,15 +576,21 @@ fn main() {
     ));
     json.push_str("  \"grids\": [\n");
     for (i, r) in results.iter().enumerate() {
+        let phases = Phase::ALL
+            .into_iter()
+            .map(|p| format!("\"{}\": {:.6}", p.label(), r.phases.secs(p)))
+            .collect::<Vec<_>>()
+            .join(", ");
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cells\": {}, \"serial_wall_s\": {:.6}, \"parallel_wall_s\": {:.6}, \"speedup\": {:.3}, \"sim_events\": {}, \"serial_events_per_sec\": {:.1}, \"deterministic\": {}}}{}\n",
+            "    {{\"name\": \"{}\", \"cells\": {}, \"serial\": {}, \"parallel\": {}, \"speedup\": {:.3}, \"sim_events\": {}, \"serial_events_per_sec\": {:.1}, \"phases_s\": {{{}}}, \"deterministic\": {}}}{}\n",
             r.name,
             r.cells,
-            r.serial_wall_s,
-            r.parallel_wall_s,
+            r.serial.json(),
+            r.parallel.json(),
             r.speedup,
             r.sim_events,
             r.serial_events_per_sec,
+            phases,
             r.deterministic,
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -362,11 +599,32 @@ fn main() {
 
     let path = "BENCH_engine.json";
     std::fs::write(path, &json).expect("write BENCH_engine.json");
-    println!();
-    println!("wrote {path}");
+    log_line!(LogLevel::Info, "");
+    log_line!(LogLevel::Info, "wrote {path}");
 
+    let mut failed = false;
     if !all_deterministic {
         eprintln!("ERROR: parallel execution diverged from the serial reference");
+        failed = true;
+    }
+    if !overhead.pass {
+        eprintln!(
+            "ERROR: telemetry overhead gate failed ({:+.2}%, {:+.3}s, digests {})",
+            overhead.overhead_pct,
+            overhead.overhead_abs_s,
+            if overhead.digests_match {
+                "identical"
+            } else {
+                "diverged"
+            }
+        );
+        failed = true;
+    }
+    if !journal.deterministic {
+        eprintln!("ERROR: decision journal diverged between serial and parallel runs");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

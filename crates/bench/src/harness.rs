@@ -10,22 +10,35 @@
 //! cells to `clover-simkit`'s ordered `par_map`, so the figures print
 //! byte-identical numbers at any thread count (`CLOVER_THREADS` to pin,
 //! default: the machine's parallelism).
+//!
+//! Output goes through `clover-telemetry`'s leveled [`log_line!`] facility:
+//! `CLOVER_LOG=quiet` silences the tables (machine-read artifacts like
+//! `BENCH_engine.json` are still written), `info` (the default) prints
+//! them, `debug` adds per-cell diagnostics.
 
 use clover_carbon::Region;
 use clover_core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
 use clover_core::schedulers::SchemeKind;
 use clover_models::zoo::Application;
+pub use clover_telemetry::{log_line, LogLevel};
 
 /// Prints a figure/table header in a uniform style.
 pub fn header(id: &str, caption: &str) {
-    println!("================================================================");
-    println!("{id}: {caption}");
-    println!("================================================================");
+    log_line!(
+        LogLevel::Info,
+        "================================================================"
+    );
+    log_line!(LogLevel::Info, "{id}: {caption}");
+    log_line!(
+        LogLevel::Info,
+        "================================================================"
+    );
 }
 
 /// Prints one outcome as a comparison row (Fig. 9/10/16 style).
 pub fn outcome_row(out: &ExperimentOutcome) {
-    println!(
+    log_line!(
+        LogLevel::Info,
         "{:<8} {:<14} carbon_save={:6.1}%  acc_gain={:6.2}%  p95/base={:5.2}  sla={}  opt={:4.2}%",
         out.scheme,
         out.app,

@@ -74,6 +74,33 @@ pub struct EvalRecord {
     pub accepted: bool,
 }
 
+/// The annealer's internal accounting for one invocation, surfaced so the
+/// decision journal can verify search behavior (notably that
+/// `SearchBudget::EpochScaled` actually caps the charged live time) instead
+/// of inferring it from eval counts.
+///
+/// Not part of `ExperimentOutcome::digest`'s frozen field set: exposing it
+/// is digest-invisible.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SearchLedger {
+    /// Annealing iterations entered (proposal attempts after the start
+    /// center, including iterations whose proposal came back empty).
+    pub iterations: u32,
+    /// Evaluated candidates SA accepted as the new center (the start
+    /// center counts).
+    pub accepted: u32,
+    /// Evaluated candidates SA rejected.
+    pub rejected: u32,
+    /// The non-improving streak at termination.
+    pub final_non_improving: u32,
+    /// Simulated live time charged to this invocation, seconds (equals
+    /// `OptimizationRun::time_spent_s`).
+    pub charged_live_s: f64,
+    /// The time budget this invocation ran under, seconds — after any
+    /// epoch scaling, so sub-hour cadences show their reduced cap here.
+    pub budget_s: f64,
+}
+
 /// Result of one optimization invocation.
 #[derive(Debug, Clone)]
 pub struct OptimizationRun {
@@ -88,6 +115,9 @@ pub struct OptimizationRun {
     pub best_f: f64,
     /// Total wall time consumed by evaluations, seconds.
     pub time_spent_s: f64,
+    /// The annealer's internal accounting (iterations, accept/reject,
+    /// streak, budget) for the journal's `search` events.
+    pub ledger: SearchLedger,
 }
 
 /// Runs one simulated-annealing invocation.
@@ -173,12 +203,22 @@ where
     }
 
     let best_f = objective.f(&best_point, ci);
+    let accepted = evals.iter().filter(|e| e.accepted).count() as u32;
+    let rejected = evals.len() as u32 - accepted;
     OptimizationRun {
         evals,
         best,
         best_point,
         best_f,
         time_spent_s: time_spent,
+        ledger: SearchLedger {
+            iterations: iter,
+            accepted,
+            rejected,
+            final_non_improving: non_improving,
+            charged_live_s: time_spent,
+            budget_s: params.time_budget_s,
+        },
     }
 }
 
@@ -292,6 +332,18 @@ mod tests {
         let run = run_sa(5, &SaParams::default());
         assert_eq!(run.evals[0].order, 1);
         assert!(run.evals[0].accepted);
+    }
+
+    #[test]
+    fn ledger_accounts_for_every_eval() {
+        let run = run_sa(7, &SaParams::default());
+        let l = run.ledger;
+        assert_eq!((l.accepted + l.rejected) as usize, run.evals.len());
+        assert_eq!(l.charged_live_s, run.time_spent_s);
+        assert_eq!(l.budget_s, 300.0, "default budget is the paper's 5 min");
+        // Every eval after the start center consumed one iteration.
+        assert!(l.iterations as usize + 1 >= run.evals.len());
+        assert!(l.final_non_improving <= SaParams::default().non_improving_stop);
     }
 
     #[test]

@@ -237,6 +237,46 @@ impl FleetState {
     }
 }
 
+/// Why the last [`Scaler::step`] did what it did — recorded for the
+/// decision journal's `scaler` events, never consulted by the scaler
+/// itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScaleReason {
+    /// Static policy: the fleet never moves.
+    #[default]
+    Static,
+    /// Utilization inside the hysteresis band: nothing to do.
+    Hold,
+    /// A recent action's cooldown suppressed this epoch's decision.
+    Cooldown,
+    /// Powered utilization crossed the upper threshold: capacity added
+    /// (warming through the provisioning delay).
+    ScaleUp,
+    /// Active utilization fell below the lower threshold: capacity
+    /// retired into the drain window.
+    ScaleDown,
+    /// Scale-up wanted but no uncommitted GPU exists (fleet at its
+    /// provisioned maximum, or everything else is mid-drain).
+    AtCeiling,
+    /// Scale-down wanted but the fleet already sits at `min_gpus`.
+    AtFloor,
+}
+
+impl ScaleReason {
+    /// Stable lower-snake label used in journal events.
+    pub fn label(self) -> &'static str {
+        match self {
+            ScaleReason::Static => "static",
+            ScaleReason::Hold => "hold",
+            ScaleReason::Cooldown => "cooldown",
+            ScaleReason::ScaleUp => "scale_up",
+            ScaleReason::ScaleDown => "scale_down",
+            ScaleReason::AtCeiling => "at_ceiling",
+            ScaleReason::AtFloor => "at_floor",
+        }
+    }
+}
+
 /// The per-experiment autoscaler: hysteresis, cooldown and provisioning
 /// delay around a demand-driven sizing rule.
 ///
@@ -285,6 +325,8 @@ pub struct Scaler {
     cooldown_until: u64,
     /// Next epoch index `step` will process.
     epoch: u64,
+    /// Why the last `step` decided what it decided (journal only).
+    last_reason: ScaleReason,
 }
 
 impl Scaler {
@@ -297,8 +339,14 @@ impl Scaler {
             draining: Vec::new(),
             cooldown_until: 0,
             epoch: 0,
+            last_reason: ScaleReason::default(),
             cfg,
         }
+    }
+
+    /// Why the most recent [`Scaler::step`] did what it did.
+    pub fn last_reason(&self) -> ScaleReason {
+        self.last_reason
     }
 
     /// The configuration in force.
@@ -319,6 +367,7 @@ impl Scaler {
         self.epoch += 1;
 
         if self.cfg.policy == ScalingPolicy::Static {
+            self.last_reason = ScaleReason::Static;
             return self.state();
         }
 
@@ -368,10 +417,20 @@ impl Scaler {
             _ => self.cfg.target_utilization,
         };
 
+        self.last_reason = if epoch < self.cooldown_until {
+            ScaleReason::Cooldown
+        } else {
+            ScaleReason::Hold
+        };
         if epoch >= self.cooldown_until {
             let powered = self.active + self.pending();
             let util_powered = demand / (powered as f64 * cap);
             let util_active = demand / (self.active as f64 * cap);
+            if util_powered > up {
+                self.last_reason = ScaleReason::AtCeiling;
+            } else if util_active < down && self.active <= self.cfg.min_gpus {
+                self.last_reason = ScaleReason::AtFloor;
+            }
             if util_powered > up && powered < self.cfg.max_gpus {
                 // Grow toward the target utilization; the new GPUs draw
                 // power now but serve only after the provisioning delay.
@@ -390,6 +449,7 @@ impl Scaler {
                             .push((epoch + u64::from(self.cfg.provision_delay_epochs), add));
                     }
                     self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
+                    self.last_reason = ScaleReason::ScaleUp;
                 }
             } else if util_active < down && self.active > self.cfg.min_gpus && self.pending() == 0 {
                 // Shrink toward the target utilization: the retired GPUs
@@ -405,6 +465,7 @@ impl Scaler {
                             .push((epoch + u64::from(self.cfg.drain_epochs), retired));
                     }
                     self.cooldown_until = epoch + 1 + u64::from(self.cfg.cooldown_epochs);
+                    self.last_reason = ScaleReason::ScaleDown;
                 }
             }
         }
@@ -470,6 +531,31 @@ mod tests {
                 }
             );
         }
+    }
+
+    #[test]
+    fn step_records_its_reason() {
+        let (mut scaler, workload) = scaler_over(WorkloadKind::diurnal(), ScalingPolicy::Static);
+        scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(scaler.last_reason(), ScaleReason::Static);
+
+        // Steady Poisson inside the hysteresis band: every epoch holds.
+        let (mut scaler, workload) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::reactive());
+        scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(scaler.last_reason(), ScaleReason::Hold);
+
+        // Diurnal through a day must produce at least one scale-down (the
+        // trough) and one scale-up (the recovery), each with its reason.
+        let (mut scaler, workload) =
+            scaler_over(WorkloadKind::diurnal(), ScalingPolicy::reactive());
+        let mut reasons = Vec::new();
+        for h in 0..24 {
+            scaler.step(SimTime::from_hours(f64::from(h)), &workload.forecast());
+            reasons.push(scaler.last_reason());
+        }
+        assert!(reasons.contains(&ScaleReason::ScaleDown), "{reasons:?}");
+        assert!(reasons.contains(&ScaleReason::ScaleUp), "{reasons:?}");
+        assert!(reasons.contains(&ScaleReason::Cooldown), "{reasons:?}");
     }
 
     #[test]

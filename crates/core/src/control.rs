@@ -41,9 +41,15 @@ use clover_carbon::{CarbonIntensity, CarbonMonitor};
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{Deployment, ServingCarry, ServingSim, WindowMetrics};
 use clover_simkit::{SimDuration, SimRng, SimTime};
+use clover_telemetry::{Event, Phase, ProfilerHandle, Telemetry};
 use clover_workload::{ArrivalProcess, Workload};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// Histogram buckets for per-invocation charged live search time, seconds
+/// (the paper's budget is 300 s at the hourly cadence; epoch-scaled budgets
+/// land in the lower buckets).
+const SEARCH_TIME_BUCKETS_S: [f64; 7] = [1.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0];
 
 /// How much of each control epoch the serving simulator actually runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -437,14 +443,80 @@ impl ControlPlane {
     /// control trigger fires (start-up, carbon drift beyond the monitor
     /// threshold, an SLA violation in the previous epoch, a fleet resize)
     /// — invokes the scheduler for a fresh configuration.
+    ///
+    /// Equivalent to [`ControlPlane::begin_epoch_with`] against the no-op
+    /// telemetry sink.
     pub fn begin_epoch(&mut self, epoch: &ControlEpoch, env: &PlaneEnv<'_>) -> EpochPlan {
+        self.begin_epoch_with(epoch, env, &mut Telemetry::disabled())
+    }
+
+    /// Attaches (or detaches) a phase profiler to the live evaluator, so
+    /// the candidate measurements a scheduler charges inside
+    /// [`Scheduler::plan`] are timed as [`Phase::Search`] — nested within
+    /// the [`Phase::Plan`] scope [`ControlPlane::begin_epoch_with`] opens
+    /// around the whole invocation.
+    pub fn set_profiler(&mut self, profiler: Option<ProfilerHandle>) {
+        self.evaluator.set_profiler(profiler);
+    }
+
+    /// [`ControlPlane::begin_epoch`] with a telemetry sink.
+    ///
+    /// The decision journal receives one `epoch_begin` and one `scaler`
+    /// event per epoch, plus `forecast`, `plan`, `search` (schemes that
+    /// report an optimization run) and `reconfig` (non-zero downtime)
+    /// events when a control trigger fires; the search ledger also lands in
+    /// the metric registry as per-scheme counters. The scaler step is timed
+    /// as [`Phase::Scaler`] and the scheduler invocation as
+    /// [`Phase::Plan`]. Telemetry is a strict overlay: every journal field
+    /// derives from decision state the loop computes anyway, so with the
+    /// no-op sink this method *is* the plain `begin_epoch`, bit for bit.
+    pub fn begin_epoch_with(
+        &mut self,
+        epoch: &ControlEpoch,
+        env: &PlaneEnv<'_>,
+        telemetry: &mut Telemetry,
+    ) -> EpochPlan {
         let t = epoch.start;
         let event = self.monitor.observe(t);
         let ci = event.current;
 
+        let scaler_scope = telemetry.scope(Phase::Scaler);
         let fleet = self.scaler.step(t, &env.workload.forecast());
+        drop(scaler_scope);
         let fleet_changed = fleet.active != self.active_gpus;
         self.active_gpus = fleet.active;
+
+        // Why the scheduler runs this epoch (`None`: keep the current
+        // configuration). Priority order mirrors the trigger condition.
+        let cause = if epoch.index == 0 {
+            Some("startup")
+        } else if event.triggered {
+            Some("carbon-drift")
+        } else if self.sla_violated {
+            Some("sla-violation")
+        } else if fleet_changed {
+            Some("fleet-resize")
+        } else {
+            None
+        };
+
+        if telemetry.journal_mut().is_some() {
+            telemetry.emit(
+                Event::new("epoch_begin", t)
+                    .u64("epoch", u64::from(epoch.index))
+                    .u64("trace_hour", u64::from(epoch.trace_hour()))
+                    .f64("ci_g_per_kwh", ci.g_per_kwh())
+                    .u64("active_gpus", self.active_gpus as u64),
+            );
+            telemetry.emit(
+                Event::new("scaler", t)
+                    .str("reason", self.scaler.last_reason().label())
+                    .u64("active", fleet.active as u64)
+                    .u64("warming", fleet.warming as u64)
+                    .u64("draining", fleet.draining as u64)
+                    .u64("off", fleet.off as u64),
+            );
+        }
 
         let mut plan = EpochPlan {
             ci,
@@ -453,12 +525,18 @@ impl ControlPlane {
             run: None,
             eval_windows: Vec::new(),
         };
-        if epoch.index == 0 || event.triggered || self.sla_violated || fleet_changed {
+        if let Some(cause) = cause {
             // Candidates are evaluated at the demand the workload forecasts
             // for this epoch (the constant offered rate under the paper's
             // Poisson workload; floored above zero so the measurement
             // windows stay well-defined when a trace has run dry).
             self.evaluator.rate_rps = env.workload.planning_rate_at(t);
+            if telemetry.journal_mut().is_some() {
+                telemetry.emit(
+                    Event::new("forecast", t).f64("planning_rate_rps", self.evaluator.rate_rps),
+                );
+            }
+            let plan_scope = telemetry.scope(Phase::Plan);
             let decision = self.scheduler.plan(&mut SchedulerCtx {
                 family: env.family,
                 perf: env.perf,
@@ -470,6 +548,7 @@ impl ControlPlane {
                 evaluator: &mut self.evaluator,
                 rng: &mut self.rng,
             });
+            drop(plan_scope);
             self.monitor.acknowledge(ci);
             plan.run = decision.run;
             // Exploration traffic is real traffic: hand it to the caller
@@ -478,7 +557,63 @@ impl ControlPlane {
             // return no OptimizationRun, and its charged windows must
             // neither accumulate nor slip to a later epoch's intensity.
             plan.eval_windows = self.evaluator.take_window_log();
-            self.evaluator.apply(decision.deployment.clone());
+            let downtime = self.evaluator.apply(decision.deployment.clone());
+            if telemetry.journal_mut().is_some() {
+                let mut ev = Event::new("plan", t)
+                    .str("scheme", self.scheduler.name())
+                    .str("cause", cause)
+                    .u64("gpus", self.active_gpus as u64)
+                    .u64("eval_windows", plan.eval_windows.len() as u64);
+                if let Some(note) = decision.note.as_deref() {
+                    ev = ev.str("note", note);
+                }
+                telemetry.emit(ev);
+                if let Some(run) = plan.run.as_ref() {
+                    let l = run.ledger;
+                    telemetry.emit(
+                        Event::new("search", t)
+                            .u64("iterations", u64::from(l.iterations))
+                            .u64("accepted", u64::from(l.accepted))
+                            .u64("rejected", u64::from(l.rejected))
+                            .u64("non_improving", u64::from(l.final_non_improving))
+                            .f64("charged_live_s", l.charged_live_s)
+                            .f64("budget_s", l.budget_s),
+                    );
+                }
+                if !downtime.is_zero() {
+                    telemetry.emit(Event::new("reconfig", t).f64("downtime_s", downtime.as_secs()));
+                }
+            }
+            if let Some(run) = plan.run.as_ref() {
+                let l = run.ledger;
+                let scheme = self.scheduler.name().to_string();
+                if let Some(m) = telemetry.metrics_mut() {
+                    let labels: &[(&str, &str)] = &[("scheme", &scheme)];
+                    m.counter_add("clover_plan_invocations_total", labels, 1);
+                    m.counter_add(
+                        "clover_search_iterations_total",
+                        labels,
+                        u64::from(l.iterations),
+                    );
+                    m.counter_add(
+                        "clover_search_accepted_total",
+                        labels,
+                        u64::from(l.accepted),
+                    );
+                    m.counter_add(
+                        "clover_search_rejected_total",
+                        labels,
+                        u64::from(l.rejected),
+                    );
+                    m.gauge_set("clover_search_budget_seconds", labels, l.budget_s);
+                    m.histogram_observe(
+                        "clover_search_charged_live_seconds",
+                        labels,
+                        &SEARCH_TIME_BUCKETS_S,
+                        l.charged_live_s,
+                    );
+                }
+            }
             plan.deployment = Some(decision.deployment);
         }
         plan

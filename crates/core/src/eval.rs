@@ -18,6 +18,7 @@ use clover_mig::ReconfigCost;
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{Deployment, ServingSim, WindowMetrics};
 use clover_simkit::SimDuration;
+use clover_telemetry::{Phase, ProfilerHandle};
 use std::sync::Arc;
 
 /// Evaluates candidate deployments with short live DES windows.
@@ -41,6 +42,9 @@ pub struct DesEvaluator {
     sim: ServingSim,
     /// Serving metrics of every evaluation window, for run accounting.
     pub window_log: Vec<WindowMetrics>,
+    /// Optional phase profiler: when set, each candidate measurement is
+    /// timed as [`Phase::Search`]. Wall-clock only; never touches results.
+    profiler: Option<ProfilerHandle>,
 }
 
 impl DesEvaluator {
@@ -72,7 +76,14 @@ impl DesEvaluator {
             evals_done: 0,
             sim,
             window_log: Vec::new(),
+            profiler: None,
         }
+    }
+
+    /// Attach (or detach) a phase profiler; candidate measurements are
+    /// recorded under [`Phase::Search`].
+    pub fn set_profiler(&mut self, profiler: Option<ProfilerHandle>) {
+        self.profiler = profiler;
     }
 
     /// The configuration currently applied.
@@ -96,6 +107,7 @@ impl DesEvaluator {
     /// report. The cost charged is the reconfiguration downtime plus the
     /// full (warmup + measurement) window.
     pub fn evaluate(&mut self, candidate: &Deployment) -> EvalOutcome {
+        let _search = self.profiler.as_ref().map(|p| p.scope(Phase::Search));
         let downtime = self
             .reconfig
             .fleet_downtime(self.current.partitioning(), candidate.partitioning());

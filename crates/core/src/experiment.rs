@@ -44,6 +44,7 @@ use clover_models::zoo::Application;
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
 use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
+use clover_telemetry::{Event, Phase, Telemetry, TelemetryReport, TelemetrySpec};
 use clover_workload::{Workload, WorkloadKind};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -733,6 +734,27 @@ impl Experiment {
         clover_simkit::par_map(configs, threads, |cfg| Experiment::new(cfg).run())
     }
 
+    /// [`Experiment::run_cells`] with telemetry: each cell builds its own
+    /// sink from the shared `spec` *inside* the worker closure, runs, and
+    /// returns its [`TelemetryReport`] alongside the outcome.
+    ///
+    /// Outcomes come back in input order and — telemetry being a strict
+    /// overlay — bit-identical to [`Experiment::run_cells`]; each cell's
+    /// decision journal derives only from deterministic simulation state,
+    /// so the journals too are byte-identical between serial and parallel
+    /// execution (pinned by `tests/telemetry.rs`, gated by `perf_report`).
+    pub fn run_cells_with(
+        configs: Vec<ExperimentConfig>,
+        threads: usize,
+        spec: TelemetrySpec,
+    ) -> Vec<(ExperimentOutcome, TelemetryReport)> {
+        clover_simkit::par_map(configs, threads, move |cfg| {
+            let mut telemetry = Telemetry::new(spec);
+            let out = Experiment::new(cfg).run_with(&mut telemetry);
+            (out, telemetry.take_report())
+        })
+    }
+
     /// Multi-seed entry point: runs `cfg` once per seed (overriding
     /// `cfg.seed`) on `threads` workers, outcomes in seed order.
     pub fn run_many(
@@ -764,7 +786,27 @@ impl Experiment {
     /// histograms, timeline). Under the default configuration (hourly
     /// epochs, representative window) the numbers are bit-identical to the
     /// pre-extraction hourly loop (pinned by `tests/control_plane.rs`).
+    ///
+    /// Equivalent to [`Experiment::run_with`] against the no-op telemetry
+    /// sink.
     pub fn run(&self) -> ExperimentOutcome {
+        self.run_with(&mut Telemetry::disabled())
+    }
+
+    /// [`Experiment::run`] with a telemetry sink.
+    ///
+    /// Beyond the control plane's own events
+    /// ([`ControlPlane::begin_epoch_with`]), the runtime emits one
+    /// `conservation` checkpoint per epoch — the window counters that close
+    /// the per-boundary conservation law, matching the [`HourPoint`] the
+    /// timeline records — and maintains per-scheme request counters in the
+    /// metric registry. When profiling is enabled the epoch's serving
+    /// measurements (scheme and synchronized BASE reference) are timed as
+    /// [`Phase::Des`]; note that [`Phase::Carry`] (boundary hand-off inside
+    /// continuous serving) is nested within it, as [`Phase::Search`] is
+    /// within [`Phase::Plan`]. Telemetry is a strict overlay: with the
+    /// no-op sink this method *is* [`Experiment::run`], bit for bit.
+    pub fn run_with(&self, telemetry: &mut Telemetry) -> ExperimentOutcome {
         let cfg = &self.cfg;
         let schedule = EpochSchedule::new(cfg.horizon_hours, cfg.control_epoch_s);
         let epochs = schedule.count();
@@ -824,6 +866,12 @@ impl Experiment {
         let scaler = Scaler::new(scaler_cfg);
 
         let mut plane = ControlPlane::new(scheduler, monitor, scaler, evaluator, rng);
+        // Timing is keyed off shared atomic cells: the evaluator's
+        // candidate windows land in Search, the serving simulators'
+        // boundary hand-offs in Carry. No-ops when profiling is off.
+        plane.set_profiler(telemetry.profiler());
+        sim.set_profiler(telemetry.profiler());
+        base_sim.set_profiler(telemetry.profiler());
         let env = PlaneEnv {
             family: &self.family,
             perf: &self.perf,
@@ -841,7 +889,7 @@ impl Experiment {
 
         for epoch in schedule.iter() {
             let t = epoch.start;
-            let plan = plane.begin_epoch(&epoch, &env);
+            let plan = plane.begin_epoch_with(&epoch, &env, telemetry);
             let ci = plan.ci;
             let fleet = plan.fleet;
             active_gpu_hours += fleet.active as f64 * epoch_hours;
@@ -879,11 +927,13 @@ impl Experiment {
             // — driven by the workload's arrival process anchored at the
             // epoch's start.
             let mut arrivals = self.workload.process_from(t);
+            let des_scope = telemetry.scope(Phase::Des);
             let w = if continuous {
                 plane.serve_continuous(&mut sim, arrivals.as_mut(), epoch_len)
             } else {
                 sim.run_window_with(arrivals.as_mut(), wp.window, wp.warmup)
             };
+            drop(des_scope);
             sim_events += w.sim_events;
             Self::accumulate(
                 &mut ledger,
@@ -957,11 +1007,37 @@ impl Experiment {
                 dropped: w.dropped,
                 backlog: plane.backlog(),
             });
+            // The conservation checkpoint mirrors the HourPoint counters
+            // exactly (window counts, not extrapolated): `tests/telemetry.rs`
+            // cross-checks the journal against the timeline, and summing
+            // the stream verifies Σ arrived == Σ served + Σ dropped +
+            // closing backlog without rerunning anything.
+            if telemetry.journal_mut().is_some() {
+                telemetry.emit(
+                    Event::new("conservation", t)
+                        .u64("epoch", u64::from(epoch.index))
+                        .u64("arrived", w.arrived)
+                        .u64("served", w.served)
+                        .u64("dropped", w.dropped)
+                        .u64("backlog", plane.backlog()),
+                );
+            }
+            if let Some(m) = telemetry.metrics_mut() {
+                let scheme = cfg.scheme.label();
+                let labels: &[(&str, &str)] = &[("scheme", scheme)];
+                m.counter_add("clover_epochs_total", labels, 1);
+                m.counter_add("clover_requests_arrived_total", labels, w.arrived);
+                m.counter_add("clover_requests_served_total", labels, w.served);
+                m.counter_add("clover_requests_dropped_total", labels, w.dropped);
+                m.gauge_set("clover_backlog_requests", labels, plane.backlog() as f64);
+                m.gauge_set("clover_active_gpus", labels, fleet.active as f64);
+            }
 
             // Synchronized BASE reference epoch, under the same workload
             // (carried across boundaries too when the run is continuous —
             // the baseline must not keep a cold-start advantage).
             let mut base_arrivals = self.workload.process_from(t);
+            let des_scope = telemetry.scope(Phase::Des);
             let bw = if continuous {
                 let (bw, next) =
                     base_sim.run_epoch_continuous(base_arrivals.as_mut(), epoch_len, base_carry);
@@ -970,6 +1046,7 @@ impl Experiment {
             } else {
                 base_sim.run_window_with(base_arrivals.as_mut(), wp.window, wp.warmup)
             };
+            drop(des_scope);
             sim_events += bw.sim_events;
             base_ledger.record_energy_at(t, Energy::from_joules(bw.it_energy_j() * wp.scale));
             base_hist.merge(&bw.latency_hist);

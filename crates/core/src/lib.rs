@@ -42,8 +42,8 @@ pub mod neighbors;
 pub mod objective;
 pub mod schedulers;
 
-pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams};
-pub use autoscale::{FleetState, Scaler, ScalerConfig, ScalingPolicy};
+pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams, SearchLedger};
+pub use autoscale::{FleetState, ScaleReason, Scaler, ScalerConfig, ScalingPolicy};
 pub use control::{ControlEpoch, ControlPlane, EpochSchedule, Fidelity, PlaneEnv, WindowPlan};
 pub use eval::DesEvaluator;
 pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, TraceSource};

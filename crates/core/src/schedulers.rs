@@ -130,6 +130,11 @@ pub struct Decision {
     /// The optimization run that produced it (None for schemes that do not
     /// search online).
     pub run: Option<OptimizationRun>,
+    /// A short, human-readable annotation for the decision journal: how
+    /// the decision came about (warm start vs recovery, profile hit vs
+    /// rebuild, …). `None` when there is nothing noteworthy; never fed
+    /// back into planning.
+    pub note: Option<String>,
 }
 
 /// Everything a scheduler sees at planning time.
@@ -443,6 +448,7 @@ impl Scheduler for StaticScheduler {
         Decision {
             deployment: self.deployment.clone(),
             run: None,
+            note: None,
         }
     }
 }
@@ -509,6 +515,7 @@ impl Scheduler for BloverScheduler {
         Decision {
             deployment: run.best.clone(),
             run: Some(run),
+            note: None,
         }
     }
 }
@@ -531,7 +538,8 @@ impl Scheduler for CloverScheduler {
         let perf = *ctx.perf;
         // A fleet resize invalidates the warm start (deployments are sized
         // to the active fleet): re-seed the walk from BASE on the new size.
-        if self.best.n_gpus() != ctx.active_gpus {
+        let reseeded = self.best.n_gpus() != ctx.active_gpus;
+        if reseeded {
             self.best = Deployment::base(&family, ctx.active_gpus);
         }
         // Plan for the demand the workload forecasts right now (for the
@@ -544,13 +552,14 @@ impl Scheduler for CloverScheduler {
         // GPUs), widen the termination rule so one invocation can climb out
         // of overload instead of stopping after five local misses.
         let start_est = clover_serving::analytic::estimate(&family, &perf, &self.best, rate);
-        let params = if start_est.stable && start_est.p95_latency_s <= l_tail * 2.0 {
-            self.params
-        } else {
+        let recovery = !(start_est.stable && start_est.p95_latency_s <= l_tail * 2.0);
+        let params = if recovery {
             SaParams {
                 non_improving_stop: self.params.non_improving_stop * 4,
                 ..self.params
             }
+        } else {
+            self.params
         };
         // Graph neighborhoods plus a zero-cost analytic screen keep the SA
         // walk inside SLA-compliant regions (paper Fig. 12b: "the SA
@@ -577,9 +586,18 @@ impl Scheduler for CloverScheduler {
             |candidate| evaluator.evaluate(candidate),
         );
         self.best = run.best.clone();
+        let note = match (reseeded, recovery) {
+            (false, false) => None,
+            (true, false) => Some("warm start re-seeded from BASE (fleet resized)".to_string()),
+            (false, true) => Some("emergency recovery (widened termination)".to_string()),
+            (true, true) => {
+                Some("fleet resized + emergency recovery (widened termination)".to_string())
+            }
+        };
         Decision {
             deployment: run.best.clone(),
             run: Some(run),
+            note,
         }
     }
 }
@@ -674,6 +692,7 @@ impl Scheduler for OracleScheduler {
         // The demand the experiment set the evaluator to plan against.
         let plan_rate = ctx.evaluator.rate_rps;
         let band = ctx.workload.rate_band(plan_rate, ORACLE_RATE_BANDS);
+        let mut note = None;
         let idx = match self
             .profiles
             .iter()
@@ -681,6 +700,9 @@ impl Scheduler for OracleScheduler {
         {
             Some(i) => i,
             None => {
+                note = Some(format!(
+                    "built offline profile for {n} GPUs, rate band {band}"
+                ));
                 // Measure near current demand: prefer the band's observed
                 // arrival-rate EWMA (fed by `observe`) over the plan-time
                 // forecast, which is all that exists before first traffic.
@@ -712,6 +734,7 @@ impl Scheduler for OracleScheduler {
         Decision {
             deployment: best.deployment.clone(),
             run: None,
+            note,
         }
     }
 

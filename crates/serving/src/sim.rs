@@ -30,6 +30,7 @@
 use crate::deployment::Deployment;
 use clover_models::{ModelFamily, PerfModel, VariantId};
 use clover_simkit::{EventQueue, LatencyHistogram, SimDuration, SimRng, SimTime};
+use clover_telemetry::{Phase, ProfilerHandle};
 use clover_workload::{ArrivalProcess, PoissonProcess};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
@@ -273,6 +274,11 @@ pub struct ServingSim {
     deployment: Deployment,
     rng: SimRng,
     scratch: SimScratch,
+    /// Optional phase profiler: when set, the continuous path's carry
+    /// restore and boundary snapshot are timed as
+    /// [`clover_telemetry::Phase::Carry`]. Wall-clock only — attaching a
+    /// profiler changes no simulated result.
+    profiler: Option<ProfilerHandle>,
 }
 
 impl ServingSim {
@@ -291,7 +297,14 @@ impl ServingSim {
             deployment,
             rng: SimRng::new(seed),
             scratch: SimScratch::new(),
+            profiler: None,
         }
+    }
+
+    /// Attach (or detach) a phase profiler; carry hand-offs at continuous
+    /// epoch seams are recorded under [`clover_telemetry::Phase::Carry`].
+    pub fn set_profiler(&mut self, profiler: Option<ProfilerHandle>) {
+        self.profiler = profiler;
     }
 
     /// The deployment under simulation.
@@ -437,6 +450,11 @@ impl ServingSim {
         // requests back onto their instances with their remaining service
         // scheduled, waiting requests back into the queue with their
         // pre-window arrival times (negative on this window's clock).
+        let profiler = self.profiler.clone();
+        let restore_scope = profiler
+            .as_ref()
+            .filter(|_| continuous)
+            .map(|p| p.scope(Phase::Carry));
         let mut carried_in = 0u64;
         if let Some(carry) = &carry_in {
             carried_in = carry.backlog();
@@ -496,6 +514,7 @@ impl ServingSim {
                 q,
             );
         }
+        drop(restore_scope);
 
         let mut arrived = 0u64;
         let mut served = 0u64;
@@ -586,6 +605,10 @@ impl ServingSim {
         // the horizon and convert the still-pending events into the next
         // epoch's carry. Arrive events past the horizon are discarded — the
         // next epoch anchors a fresh arrival process at its own start.
+        let snapshot_scope = profiler
+            .as_ref()
+            .filter(|_| continuous)
+            .map(|p| p.scope(Phase::Carry));
         let carry_out = continuous.then(|| {
             let mut out = ServingCarry {
                 deployment: Some(self.deployment.clone()),
@@ -614,6 +637,7 @@ impl ServingSim {
             );
             out
         });
+        drop(snapshot_scope);
 
         // Busy time and dynamic energy, clipped to the measured span.
         // Service intervals were recorded by start_service via the ledger

@@ -1,0 +1,78 @@
+//! Leveled stdout logging for the bench bins: [`log_line!`](crate::log_line)
+//! honoring the `CLOVER_LOG` environment variable.
+//!
+//! `CLOVER_LOG=quiet` silences everything (CI runs this way and reads the
+//! machine artifacts instead), `info` — the default — prints the result
+//! tables and progress lines, `debug` adds per-cell chatter. The level is
+//! read once per process; errors should keep using `eprintln!` — stderr is
+//! never filtered.
+
+use std::sync::OnceLock;
+
+/// Verbosity threshold, ordered: `Quiet < Info < Debug`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LogLevel {
+    /// Nothing on stdout.
+    Quiet,
+    /// Result tables and progress lines (the default).
+    Info,
+    /// Per-cell diagnostics on top of `Info`.
+    Debug,
+}
+
+static LEVEL: OnceLock<LogLevel> = OnceLock::new();
+
+/// The process-wide level: parsed from `CLOVER_LOG` on first call
+/// (unknown values fall back to `info`), then cached.
+pub fn log_level() -> LogLevel {
+    *LEVEL.get_or_init(|| {
+        match std::env::var("CLOVER_LOG")
+            .unwrap_or_default()
+            .to_ascii_lowercase()
+            .as_str()
+        {
+            "quiet" => LogLevel::Quiet,
+            "debug" => LogLevel::Debug,
+            _ => LogLevel::Info,
+        }
+    })
+}
+
+/// True when a line at `level` should print. `Quiet`-level lines never
+/// print (there is no "always" channel on stdout; use `eprintln!`).
+pub fn log_enabled(level: LogLevel) -> bool {
+    level != LogLevel::Quiet && level <= log_level()
+}
+
+/// Print a line to stdout when `CLOVER_LOG` admits `$level`.
+///
+/// ```
+/// use clover_telemetry::{log_line, LogLevel};
+/// log_line!(LogLevel::Info, "served {} requests", 42);
+/// log_line!(LogLevel::Debug, "cell 3/9 done");
+/// ```
+#[macro_export]
+macro_rules! log_line {
+    ($level:expr, $($arg:tt)*) => {
+        if $crate::log::log_enabled($level) {
+            println!($($arg)*);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_ordered() {
+        assert!(LogLevel::Quiet < LogLevel::Info);
+        assert!(LogLevel::Info < LogLevel::Debug);
+    }
+
+    #[test]
+    fn quiet_lines_never_print() {
+        // Regardless of the cached level, a Quiet-tagged line is filtered.
+        assert!(!log_enabled(LogLevel::Quiet));
+    }
+}

@@ -73,6 +73,7 @@ impl Scheduler for AnalyticScheduler {
         Decision {
             deployment,
             run: None,
+            note: None,
         }
     }
 

@@ -14,6 +14,9 @@
 //!   MMPP, flash-crowd, trace replay), workload descriptors, demand forecasts
 //! - [`serving`] — inference serving simulator (queue, dispatch, metrics)
 //! - [`core`] — the Clover optimizer, controller, and competing schemes
+//! - [`telemetry`] — determinism-safe observability: metric registry
+//!   (JSON / Prometheus exposition), control-plane decision journal
+//!   (JSONL), and phase profiling
 //!
 //! ## Quickstart
 //!
@@ -41,4 +44,5 @@ pub use clover_mig as mig;
 pub use clover_models as models;
 pub use clover_serving as serving;
 pub use clover_simkit as simkit;
+pub use clover_telemetry as telemetry;
 pub use clover_workload as workload;

@@ -377,6 +377,7 @@ impl Scheduler for PinnedScheduler {
         Decision {
             deployment: self.deployment.clone(),
             run: None,
+            note: None,
         }
     }
 

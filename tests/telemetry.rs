@@ -1,0 +1,299 @@
+//! Integration tests for the telemetry subsystem.
+//!
+//! Four guarantees are pinned here:
+//!
+//! 1. **Telemetry is a strict overlay.** Running the pinned pre-refactor
+//!    configurations with the no-op sink *and* with every pillar enabled
+//!    reproduces the exact digests `tests/control_plane.rs` records — the
+//!    sink never touches RNG, float paths, or event order.
+//! 2. **The decision journal is deterministic.** For all five schemes on a
+//!    sub-hour `FullEpoch` grid, the journal a parallel grid worker writes
+//!    is byte-for-byte the journal the serial run writes.
+//! 3. **Conservation checkpoints are honest.** The per-epoch
+//!    `conservation` events in the journal match the outcome timeline's
+//!    `HourPoint` counters exactly, and the stream closes the
+//!    `Σ arrived == Σ served + Σ dropped + backlog` law.
+//! 4. **The Prometheus exposition round-trips.** Text rendered by
+//!    `MetricRegistry::to_prometheus` parses back sample for sample,
+//!    including label escaping.
+
+use clover::core::control::Fidelity;
+use clover::core::experiment::{Experiment, ExperimentConfig};
+use clover::core::schedulers::SchemeKind;
+use clover::models::zoo::Application;
+use clover::telemetry::{parse_prometheus, MetricRegistry, Telemetry, TelemetrySpec};
+use clover::workload::WorkloadKind;
+
+/// The `tests/control_plane.rs` pinned configuration and digests (recorded
+/// before the control-plane extraction; the telemetry overlay must keep
+/// reproducing them with any sink).
+const PINNED_QUICK: [(&str, u64); 5] = [
+    ("BASE", 0xA581_0B01_2522_FA2F),
+    ("CO2OPT", 0x7471_7784_D531_E3F4),
+    ("BLOVER", 0x6D35_A9B2_DB9E_C166),
+    ("CLOVER", 0x98C0_B8B2_36D4_3E08),
+    ("ORACLE", 0xB87C_862C_AEAB_AD2C),
+];
+
+fn quick_cfg(scheme: &str) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::parse(scheme))
+        .n_gpus(4)
+        .horizon_hours(6.0)
+        .sim_window_s(20.0)
+        .seed(3)
+        .build()
+}
+
+/// A sub-hour full-epoch cell: 20-minute epochs under a flash crowd, the
+/// densest journal the control plane writes (scaler + conservation every
+/// epoch, epoch-scaled search budgets on re-plans).
+fn full_epoch_cfg(scheme: &str, seed: u64) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(SchemeKind::parse(scheme))
+        .workload(WorkloadKind::flash_crowd())
+        .n_gpus(2)
+        .horizon_hours(2.0)
+        .control_epoch_s(1200.0)
+        .fidelity(Fidelity::FullEpoch)
+        .seed(seed)
+        .build()
+}
+
+/// Extract an unsigned-integer field from one JSONL journal line.
+fn field_u64(line: &str, key: &str) -> u64 {
+    let pat = format!("\"{key}\":");
+    let start = line
+        .find(&pat)
+        .unwrap_or_else(|| panic!("field {key} in {line}"))
+        + pat.len();
+    line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect::<String>()
+        .parse()
+        .unwrap_or_else(|_| panic!("numeric field {key} in {line}"))
+}
+
+#[test]
+fn disabled_sink_reproduces_pinned_digests() {
+    for (scheme, expected) in PINNED_QUICK {
+        let out = Experiment::new(quick_cfg(scheme)).run_with(&mut Telemetry::disabled());
+        assert_eq!(
+            out.digest(),
+            expected,
+            "{scheme}: the no-op telemetry sink changed the pinned numbers \
+             (got 0x{:016X})",
+            out.digest()
+        );
+    }
+}
+
+#[test]
+fn fully_enabled_telemetry_is_a_strict_overlay() {
+    // Same pinned digests with every pillar on: journal events, metric
+    // updates and phase scopes must not perturb a single bit.
+    let configs = PINNED_QUICK.iter().map(|(s, _)| quick_cfg(s)).collect();
+    let pairs = Experiment::run_cells_with(configs, 1, TelemetrySpec::ALL);
+    for ((scheme, expected), (out, report)) in PINNED_QUICK.iter().zip(pairs.iter()) {
+        assert_eq!(
+            out.digest(),
+            *expected,
+            "{scheme}: enabling telemetry changed the pinned numbers \
+             (got 0x{:016X})",
+            out.digest()
+        );
+        let journal = report.journal.as_ref().expect("journal enabled");
+        assert!(!journal.is_empty(), "{scheme}: empty journal");
+        assert!(
+            report.metrics.is_some() && report.phases.is_some(),
+            "{scheme}: missing telemetry pillars"
+        );
+    }
+}
+
+#[test]
+fn journal_is_byte_identical_serial_vs_parallel() {
+    let configs: Vec<ExperimentConfig> = PINNED_QUICK
+        .iter()
+        .map(|(s, _)| full_epoch_cfg(s, 3))
+        .collect();
+    let serial = Experiment::run_cells_with(configs.clone(), 1, TelemetrySpec::JOURNAL);
+    let parallel = Experiment::run_cells_with(configs, 4, TelemetrySpec::JOURNAL);
+    for ((scheme, _), ((so, sr), (po, pr))) in
+        PINNED_QUICK.iter().zip(serial.iter().zip(parallel.iter()))
+    {
+        assert_eq!(so.digest(), po.digest(), "{scheme}: outcome diverged");
+        let sj = sr.journal.as_ref().expect("serial journal");
+        let pj = pr.journal.as_ref().expect("parallel journal");
+        assert!(!sj.is_empty(), "{scheme}: empty journal");
+        assert_eq!(
+            sj.as_str(),
+            pj.as_str(),
+            "{scheme}: journal bytes diverged between serial and parallel runs"
+        );
+        assert_eq!(sr.journal_digest(), pr.journal_digest());
+    }
+}
+
+#[test]
+fn journal_exposes_the_epoch_scaled_search_budget() {
+    // 1200 s epochs scale the paper's 300 s hourly budget to 100 s
+    // (SearchBudget::EpochScaled); every `search` event must carry it, so
+    // the cadence-aware budget is verifiable from the journal alone.
+    let pairs =
+        Experiment::run_cells_with(vec![full_epoch_cfg("CLOVER", 3)], 1, TelemetrySpec::JOURNAL);
+    let journal = pairs[0].1.journal.as_ref().expect("journal enabled");
+    let search_lines: Vec<&str> = journal
+        .as_str()
+        .lines()
+        .filter(|l| l.contains("\"event\":\"search\""))
+        .collect();
+    assert!(!search_lines.is_empty(), "CLOVER reported no search events");
+    for line in &search_lines {
+        assert!(
+            line.contains("\"budget_s\":100"),
+            "search event without the epoch-scaled 100 s budget: {line}"
+        );
+        let iterations = field_u64(line, "iterations");
+        let accepted = field_u64(line, "accepted");
+        let rejected = field_u64(line, "rejected");
+        assert!(iterations > 0, "search event with zero iterations: {line}");
+        // Evaluations = accepted + rejected; the start center is evaluated
+        // (and accepted) outside the iteration count, and iterations whose
+        // proposal came back empty evaluate nothing.
+        assert!(
+            accepted + rejected <= iterations + 1,
+            "ledger inconsistency: {line}"
+        );
+    }
+}
+
+#[test]
+fn conservation_checkpoints_match_the_timeline() {
+    // The continuous serving path: 2-minute epochs, state carried across
+    // every boundary — the configuration where conservation is non-trivial
+    // (backlog crosses epoch seams).
+    let cfg = ExperimentConfig::builder(Application::ImageClassification)
+        .workload(WorkloadKind::flash_crowd())
+        .n_gpus(2)
+        .horizon_hours(1.0)
+        .control_epoch_s(120.0)
+        .fidelity(Fidelity::FullEpoch)
+        .sla_headroom(2.0)
+        .seed(7)
+        .build();
+    let mut pairs = Experiment::run_cells_with(vec![cfg], 1, TelemetrySpec::JOURNAL);
+    let (out, report) = pairs.remove(0);
+    let journal = report.journal.expect("journal enabled");
+    let lines: Vec<&str> = journal
+        .as_str()
+        .lines()
+        .filter(|l| l.contains("\"event\":\"conservation\""))
+        .collect();
+    assert_eq!(
+        lines.len(),
+        out.timeline.len(),
+        "one conservation checkpoint per epoch"
+    );
+    let mut arrived = 0u64;
+    let mut served = 0u64;
+    let mut dropped = 0u64;
+    let mut closing_backlog = 0u64;
+    for (line, point) in lines.iter().zip(out.timeline.iter()) {
+        assert_eq!(field_u64(line, "arrived"), point.arrived, "{line}");
+        assert_eq!(field_u64(line, "served"), point.served, "{line}");
+        assert_eq!(field_u64(line, "dropped"), point.dropped, "{line}");
+        assert_eq!(field_u64(line, "backlog"), point.backlog, "{line}");
+        arrived += point.arrived;
+        served += point.served;
+        dropped += point.dropped;
+        closing_backlog = point.backlog;
+    }
+    assert!(arrived > 0, "the crowd arrived");
+    assert_eq!(
+        arrived,
+        served + dropped + closing_backlog,
+        "the journal's conservation stream must close the per-boundary law"
+    );
+}
+
+#[test]
+fn prometheus_exposition_round_trips() {
+    let mut reg = MetricRegistry::new();
+    reg.counter_add("clover_requests_served_total", &[("scheme", "CLOVER")], 42);
+    reg.counter_add("clover_requests_served_total", &[("scheme", "BASE")], 7);
+    reg.gauge_set("clover_backlog_requests", &[], 3.5);
+    // A label value exercising every escape the exposition format defines.
+    reg.gauge_set("clover_note_info", &[("note", "a\"b\\c\nd")], 1.0);
+    reg.histogram_observe(
+        "clover_search_charged_live_seconds",
+        &[("scheme", "CLOVER")],
+        &[10.0, 100.0],
+        42.0,
+    );
+
+    let text = reg.to_prometheus();
+    let samples = parse_prometheus(&text).expect("own exposition parses");
+
+    let find = |name: &str, labels: &[(&str, &str)]| -> f64 {
+        samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && s.labels.len() == labels.len()
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.labels.iter().any(|(sk, sv)| sk == k && sv == v))
+            })
+            .unwrap_or_else(|| panic!("sample {name} {labels:?} in:\n{text}"))
+            .value
+    };
+    assert_eq!(
+        find("clover_requests_served_total", &[("scheme", "CLOVER")]),
+        42.0
+    );
+    assert_eq!(
+        find("clover_requests_served_total", &[("scheme", "BASE")]),
+        7.0
+    );
+    assert_eq!(find("clover_backlog_requests", &[]), 3.5);
+    // The escaped label value round-trips to the original string.
+    assert_eq!(find("clover_note_info", &[("note", "a\"b\\c\nd")]), 1.0);
+    // Histogram exposition: cumulative buckets plus +Inf, sum and count.
+    assert_eq!(
+        find(
+            "clover_search_charged_live_seconds_bucket",
+            &[("scheme", "CLOVER"), ("le", "10")]
+        ),
+        0.0
+    );
+    assert_eq!(
+        find(
+            "clover_search_charged_live_seconds_bucket",
+            &[("scheme", "CLOVER"), ("le", "100")]
+        ),
+        1.0
+    );
+    assert_eq!(
+        find(
+            "clover_search_charged_live_seconds_bucket",
+            &[("scheme", "CLOVER"), ("le", "+Inf")]
+        ),
+        1.0
+    );
+    assert_eq!(
+        find(
+            "clover_search_charged_live_seconds_sum",
+            &[("scheme", "CLOVER")]
+        ),
+        42.0
+    );
+    assert_eq!(
+        find(
+            "clover_search_charged_live_seconds_count",
+            &[("scheme", "CLOVER")]
+        ),
+        1.0
+    );
+}
