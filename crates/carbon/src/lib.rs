@@ -34,6 +34,6 @@ pub mod trace;
 
 pub use accounting::{CarbonLedger, Pue};
 pub use intensity::{CarbonIntensity, CarbonMass, Energy};
-pub use monitor::{CarbonMonitor, MonitorEvent};
+pub use monitor::{CarbonMonitor, MonitorEvent, Staleness};
 pub use regions::Region;
 pub use trace::CarbonTrace;

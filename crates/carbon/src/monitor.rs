@@ -9,12 +9,49 @@
 //! [`CarbonMonitor`] wraps a trace with exactly that hysteresis: `observe`
 //! reports the current intensity and whether it has drifted beyond the
 //! threshold since the last acknowledged optimization.
+//!
+//! Real intensity feeds go dark. Configured **gap windows**
+//! ([`CarbonMonitor::set_gaps`]) model a feed outage: inside a gap the
+//! monitor serves the last-known-good sample — flagged
+//! [`Staleness::Stale`] — until the sample's age exceeds the configured
+//! cap, after which it degrades to the last acknowledged planning
+//! intensity ([`Staleness::Blind`]): drift reads zero and the controller
+//! stops reacting to carbon rather than react to fiction. The underlying
+//! *physics* (the carbon ledger) always integrates the true trace; only
+//! the controller's view degrades.
 
 use crate::intensity::CarbonIntensity;
 use crate::trace::CarbonTrace;
-use clover_simkit::SimTime;
+use clover_simkit::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+
+/// Data quality of a monitor observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Staleness {
+    /// The feed is live; the observation is the trace's current sample.
+    Fresh,
+    /// The feed is in a gap; serving the last-known-good sample, aged
+    /// `age_s` seconds (within the configured cap).
+    Stale {
+        /// Age of the sample being served, seconds.
+        age_s: f64,
+    },
+    /// The gap outlasted the age cap (or the feed was never seen): the
+    /// monitor holds the last acknowledged reference, so drift reads zero
+    /// and no carbon-reactive replanning fires until the feed returns.
+    Blind {
+        /// Seconds since the last good sample (0 if none was ever seen).
+        age_s: f64,
+    },
+}
+
+impl Staleness {
+    /// True unless the observation came from a live feed.
+    pub fn degraded(&self) -> bool {
+        !matches!(self, Staleness::Fresh)
+    }
+}
 
 /// What the monitor reports on each observation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -28,6 +65,8 @@ pub struct MonitorEvent {
     /// True when drift exceeds the configured threshold and a new
     /// optimization should be invoked.
     pub triggered: bool,
+    /// Whether the observation is live, stale-but-served, or blind.
+    pub staleness: Staleness,
 }
 
 /// Watches a carbon trace and flags drifts beyond a relative threshold.
@@ -36,11 +75,22 @@ pub struct CarbonMonitor {
     trace: Arc<CarbonTrace>,
     threshold: f64,
     reference: CarbonIntensity,
+    /// Feed-outage windows `[start, end)` during which the trace is
+    /// unreadable by the controller.
+    gaps: Vec<(SimTime, SimTime)>,
+    /// Maximum age a last-known-good sample may be served at.
+    age_cap: SimDuration,
+    /// The most recent sample read from a live feed.
+    last_good: Option<(SimTime, CarbonIntensity)>,
 }
 
 impl CarbonMonitor {
     /// The paper's default re-invocation threshold: 5%.
     pub const DEFAULT_THRESHOLD: f64 = 0.05;
+
+    /// Default last-known-good age cap during feed gaps, seconds: two
+    /// hours (twice the hourly publication cadence of real grid feeds).
+    pub const DEFAULT_AGE_CAP_S: f64 = 7200.0;
 
     /// Creates a monitor over `trace` with the given relative threshold.
     /// The initial reference is the intensity at t = 0. The trace is shared
@@ -53,6 +103,9 @@ impl CarbonMonitor {
             trace,
             threshold,
             reference,
+            gaps: Vec::new(),
+            age_cap: SimDuration::from_secs(Self::DEFAULT_AGE_CAP_S),
+            last_good: None,
         }
     }
 
@@ -62,19 +115,70 @@ impl CarbonMonitor {
     }
 
     /// Current intensity at `now` (stepwise, as published by the grid).
+    /// This is the *true* feed, gap-blind — what the physics (the carbon
+    /// ledger) integrates; the controller's degraded view comes from
+    /// [`CarbonMonitor::observe`].
     pub fn intensity_at(&self, now: SimTime) -> CarbonIntensity {
         self.trace.at(now)
     }
 
+    /// Configures feed-outage windows `[start, end)` and the maximum age a
+    /// last-known-good sample may be served at inside them. Gaps are how
+    /// the chaos layer injects carbon-trace staleness; an empty gap list
+    /// restores fault-free behavior exactly.
+    pub fn set_gaps(&mut self, gaps: Vec<(SimTime, SimTime)>, age_cap: SimDuration) {
+        self.gaps = gaps;
+        self.age_cap = age_cap;
+    }
+
+    /// True when the controller's feed is dark at `now`.
+    pub fn in_gap(&self, now: SimTime) -> bool {
+        self.gaps.iter().any(|&(a, b)| now >= a && now < b)
+    }
+
     /// Observes the grid at `now`.
-    pub fn observe(&self, now: SimTime) -> MonitorEvent {
-        let current = self.trace.at(now);
+    ///
+    /// Live feed: reads the trace and remembers the sample. Inside a gap:
+    /// serves the last-known-good sample while it is younger than the age
+    /// cap ([`Staleness::Stale`]); past the cap — or if no sample was ever
+    /// seen — holds the acknowledged reference ([`Staleness::Blind`]), so
+    /// drift reads zero and carbon-reactive replanning pauses until the
+    /// feed returns.
+    pub fn observe(&mut self, now: SimTime) -> MonitorEvent {
+        let (current, staleness) = if self.in_gap(now) {
+            match self.last_good {
+                Some((t0, ci)) => {
+                    let age = now.saturating_since(t0);
+                    if age <= self.age_cap {
+                        (
+                            ci,
+                            Staleness::Stale {
+                                age_s: age.as_secs(),
+                            },
+                        )
+                    } else {
+                        (
+                            self.reference,
+                            Staleness::Blind {
+                                age_s: age.as_secs(),
+                            },
+                        )
+                    }
+                }
+                None => (self.reference, Staleness::Blind { age_s: 0.0 }),
+            }
+        } else {
+            let ci = self.trace.at(now);
+            self.last_good = Some((now, ci));
+            (ci, Staleness::Fresh)
+        };
         let drift = current.relative_change_from(self.reference);
         MonitorEvent {
             current,
             reference: self.reference,
             drift,
             triggered: drift > self.threshold,
+            staleness,
         }
     }
 
@@ -121,15 +225,16 @@ mod tests {
 
     #[test]
     fn small_drift_does_not_trigger() {
-        let m = CarbonMonitor::with_default_threshold(trace());
+        let mut m = CarbonMonitor::with_default_threshold(trace());
         let ev = m.observe(SimTime::from_hours(1.0));
         assert!(!ev.triggered);
         assert!((ev.drift - 0.03).abs() < 1e-12);
+        assert_eq!(ev.staleness, Staleness::Fresh);
     }
 
     #[test]
     fn large_drift_triggers() {
-        let m = CarbonMonitor::with_default_threshold(trace());
+        let mut m = CarbonMonitor::with_default_threshold(trace());
         let ev = m.observe(SimTime::from_hours(2.0));
         assert!(ev.triggered);
         assert_eq!(ev.current.g_per_kwh(), 110.0);
@@ -170,7 +275,73 @@ mod tests {
 
     #[test]
     fn zero_threshold_triggers_on_any_change() {
-        let m = CarbonMonitor::new(trace(), 0.0);
+        let mut m = CarbonMonitor::new(trace(), 0.0);
         assert!(m.observe(SimTime::from_hours(1.0)).triggered);
+    }
+
+    #[test]
+    fn gap_serves_last_known_good_within_age_cap() {
+        let mut m = CarbonMonitor::with_default_threshold(trace());
+        m.set_gaps(
+            vec![(SimTime::from_hours(2.0), SimTime::from_hours(4.0))],
+            SimDuration::from_hours(2.0),
+        );
+        // Live read at 1 h: 103, remembered.
+        let live = m.observe(SimTime::from_hours(1.0));
+        assert_eq!(live.staleness, Staleness::Fresh);
+        assert_eq!(live.current.g_per_kwh(), 103.0);
+        // 2.5 h is inside the gap: the true trace says 110 (a >5% drift)
+        // but the monitor serves the 1 h sample — stale, no trigger.
+        let stale = m.observe(SimTime::from_hours(2.5));
+        assert_eq!(stale.current.g_per_kwh(), 103.0);
+        assert!(
+            matches!(stale.staleness, Staleness::Stale { age_s } if (age_s - 5400.0).abs() < 1e-9)
+        );
+        assert!(!stale.triggered, "stale data must not trigger replanning");
+        assert!(stale.staleness.degraded());
+        // After the gap the live feed resumes.
+        let back = m.observe(SimTime::from_hours(4.0));
+        assert_eq!(back.staleness, Staleness::Fresh);
+        assert_eq!(back.current.g_per_kwh(), 90.0);
+    }
+
+    #[test]
+    fn gap_past_age_cap_goes_blind_on_the_reference() {
+        let mut m = CarbonMonitor::with_default_threshold(trace());
+        m.set_gaps(
+            vec![(SimTime::from_hours(1.5), SimTime::from_hours(12.0))],
+            SimDuration::from_hours(1.0),
+        );
+        m.observe(SimTime::from_hours(1.0)); // last good: 103 at 1 h
+        m.acknowledge(CarbonIntensity::from_g_per_kwh(103.0));
+        // 2 h into the gap, the 1 h sample is over the 1 h cap: blind.
+        let blind = m.observe(SimTime::from_hours(3.0));
+        assert!(matches!(blind.staleness, Staleness::Blind { .. }));
+        assert_eq!(blind.current.g_per_kwh(), 103.0, "holds the reference");
+        assert_eq!(blind.drift, 0.0, "blind drift must read zero");
+        assert!(!blind.triggered);
+    }
+
+    #[test]
+    fn gap_with_no_prior_sample_is_blind_from_the_start() {
+        let mut m = CarbonMonitor::with_default_threshold(trace());
+        m.set_gaps(
+            vec![(SimTime::ZERO, SimTime::from_hours(1.0))],
+            SimDuration::from_hours(2.0),
+        );
+        let ev = m.observe(SimTime::ZERO);
+        assert!(matches!(ev.staleness, Staleness::Blind { .. }));
+        assert_eq!(ev.current, ev.reference);
+    }
+
+    #[test]
+    fn no_gaps_behaves_exactly_as_before() {
+        let mut gapped = CarbonMonitor::with_default_threshold(trace());
+        gapped.set_gaps(Vec::new(), SimDuration::from_hours(2.0));
+        let mut plain = CarbonMonitor::with_default_threshold(trace());
+        for h in 0..5 {
+            let t = SimTime::from_hours(h as f64);
+            assert_eq!(gapped.observe(t), plain.observe(t));
+        }
     }
 }

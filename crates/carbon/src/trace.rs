@@ -194,6 +194,12 @@ impl CarbonTrace {
             let g: f64 = line
                 .parse()
                 .map_err(|e| format!("carbon CSV line {}: bad intensity: {e}", i + 1))?;
+            if !g.is_finite() || g < 0.0 {
+                return Err(format!(
+                    "carbon CSV line {}: negative or non-finite intensity {g}",
+                    i + 1
+                ));
+            }
             values.push(CarbonIntensity::from_g_per_kwh(g));
         }
         if values.is_empty() {
@@ -306,5 +312,32 @@ mod tests {
         assert_eq!(t.len(), 2);
         assert!(CarbonTrace::from_csv("g_per_kwh\n").is_err());
         assert!(CarbonTrace::from_csv("g_per_kwh\nnope\n").is_err());
+    }
+
+    #[test]
+    fn corrupt_csv_is_a_lined_error_not_a_panic() {
+        // A truncated float mid-row: the line number names the culprit.
+        let err = CarbonTrace::from_csv("g_per_kwh\n100\n2e\n300\n").unwrap_err();
+        assert!(err.contains("line 3"), "got: {err}");
+        // Negative and non-finite intensities are physically meaningless.
+        let err = CarbonTrace::from_csv("g_per_kwh\n100\n-5\n").unwrap_err();
+        assert!(
+            err.contains("line 3") && err.contains("negative"),
+            "got: {err}"
+        );
+        let err = CarbonTrace::from_csv("g_per_kwh\ninf\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        let err = CarbonTrace::from_csv("g_per_kwh\nNaN\n").unwrap_err();
+        assert!(err.contains("line 2"), "got: {err}");
+        // A corrupt step comment is caught with its own line number.
+        let err = CarbonTrace::from_csv("# step_s=oops\ng_per_kwh\n100\n").unwrap_err();
+        assert!(
+            err.contains("line 1") && err.contains("bad step"),
+            "got: {err}"
+        );
+        let err = CarbonTrace::from_csv("# step_s=-60\ng_per_kwh\n100\n").unwrap_err();
+        assert!(err.contains("non-positive step"), "got: {err}");
+        let err = CarbonTrace::from_csv("# step_s=inf\ng_per_kwh\n100\n").unwrap_err();
+        assert!(err.contains("non-positive step"), "got: {err}");
     }
 }

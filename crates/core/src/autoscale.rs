@@ -5,7 +5,9 @@
 //! This module adds the elastic dimension: each decision epoch (the
 //! experiment's control step — hourly by default, sub-hour via
 //! [`crate::control::ControlEpoch`]), a [`Scaler`] consults the workload's
-//! [`DemandForecast`] and chooses how many
+//! demand view (a [`clover_workload::DemandForecast`], or a
+//! [`clover_workload::NoisyForecast`] when the chaos layer injects
+//! forecast error) and chooses how many
 //! of the provisioned GPUs should be *active* — serving instances — with
 //! the rest *warming* (powered, loading models, joining after a
 //! provisioning lag), *draining* (recently retired: finishing in-flight
@@ -30,9 +32,19 @@
 //! arithmetic over the forecast, so autoscaled experiments stay
 //! byte-identical between serial and parallel grid runs (pinned by
 //! `tests/autoscale.rs`).
+//!
+//! ## Faults
+//!
+//! The chaos layer ([`crate::chaos`]) removes failed GPUs from the fleet
+//! with [`Scaler::fail`] — effective immediately, since the hardware does
+//! not wait for a decision epoch — and returns repaired boards with
+//! [`Scaler::repair`], which routes them through the normal *warming*
+//! state: a repaired GPU repartitions and reloads models exactly like one
+//! a scale-up just powered on. While boards are down, every policy's
+//! scale-up is clamped to the surviving fleet.
 
 use clover_simkit::{SimDuration, SimTime};
-use clover_workload::DemandForecast;
+use clover_workload::DemandView;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -59,7 +71,7 @@ pub enum ScalingPolicy {
         lookahead_hours: f64,
     },
     /// Size against the forecast **peak** over a look-ahead horizon
-    /// ([`DemandForecast::peak_over`]): capacity for a predicted spike is
+    /// ([`DemandView::peak_over`]): capacity for a predicted spike is
     /// warming *before* the ramp opens, not chasing it from behind. The
     /// windowed mean smears a short flash crowd into near-invisibility
     /// (a 5-minute 5× spike barely moves a 2-hour mean); the peak is what
@@ -321,6 +333,10 @@ pub struct Scaler {
     /// Batches of retired-but-draining GPUs: `(empty_epoch, count)`. They
     /// power down to standby once their epoch expires.
     draining: Vec<(u64, usize)>,
+    /// Failed GPUs currently out of the fleet (chaos layer). Counted
+    /// inside `off` in [`FleetState`] — they draw nothing, not even
+    /// standby — and they cap every policy's scale-up until repaired.
+    down: usize,
     /// No scaling action before this epoch.
     cooldown_until: u64,
     /// Next epoch index `step` will process.
@@ -337,6 +353,7 @@ impl Scaler {
             active: cfg.max_gpus,
             warming: Vec::new(),
             draining: Vec::new(),
+            down: 0,
             cooldown_until: 0,
             epoch: 0,
             last_reason: ScaleReason::default(),
@@ -362,29 +379,25 @@ impl Scaler {
     /// Advances one decision epoch at global time `now` and returns the
     /// fleet partition to run with. Deterministic: no randomness is
     /// consumed, so scaled experiments parallelize byte-identically.
-    pub fn step(&mut self, now: SimTime, forecast: &DemandForecast<'_>) -> FleetState {
+    ///
+    /// Generic over [`DemandView`] so the chaos layer can substitute a
+    /// [`clover_workload::NoisyForecast`] — the scaler cannot tell a
+    /// biased forecast from a clean one, which is the point.
+    pub fn step<F: DemandView>(&mut self, now: SimTime, forecast: &F) -> FleetState {
         let epoch = self.epoch;
         self.epoch += 1;
+
+        // Promote batches whose warm-up lag has elapsed, and power down
+        // retired GPUs whose drain window is over (they fall to standby —
+        // `state()` derives `off` from what remains committed). Static
+        // fleets run this too: repaired boards re-enter through warming
+        // even when the policy itself never scales.
+        self.promote_ready(epoch);
 
         if self.cfg.policy == ScalingPolicy::Static {
             self.last_reason = ScaleReason::Static;
             return self.state();
         }
-
-        // Promote batches whose warm-up lag has elapsed, and power down
-        // retired GPUs whose drain window is over (they fall to standby —
-        // `state()` derives `off` from what remains committed).
-        let mut ready = 0usize;
-        self.warming.retain(|&(at, n)| {
-            if at <= epoch {
-                ready += n;
-                false
-            } else {
-                true
-            }
-        });
-        self.active = (self.active + ready).min(self.cfg.max_gpus);
-        self.draining.retain(|&(until, _)| until > epoch);
 
         let demand = match self.cfg.policy {
             ScalingPolicy::Static => unreachable!("handled above"),
@@ -431,12 +444,15 @@ impl Scaler {
             } else if util_active < down && self.active <= self.cfg.min_gpus {
                 self.last_reason = ScaleReason::AtFloor;
             }
-            if util_powered > up && powered < self.cfg.max_gpus {
+            if util_powered > up && powered < self.available() {
                 // Grow toward the target utilization; the new GPUs draw
                 // power now but serve only after the provisioning delay.
-                // Draining boards are not re-conscripted mid-drain: growth
-                // is bounded by what is genuinely uncommitted.
-                let uncommitted = self.cfg.max_gpus - powered - self.draining_count();
+                // Draining boards are not re-conscripted mid-drain, and
+                // failed boards cannot be powered on at all: growth is
+                // bounded by what is genuinely uncommitted *and* alive.
+                let uncommitted = self
+                    .available()
+                    .saturating_sub(powered + self.draining_count());
                 let add = self
                     .desired(demand, target)
                     .saturating_sub(powered)
@@ -471,6 +487,83 @@ impl Scaler {
         }
 
         self.state()
+    }
+
+    /// Removes `n` failed GPUs from the fleet, effective immediately —
+    /// hardware does not wait for a decision epoch. Boards are taken from
+    /// the active set first (their instances are already dead in the
+    /// serving layer), then from warming batches, then from draining
+    /// ones; any remainder fell on boards that were already off. Returns
+    /// how many boards actually left (never more than the fleet holds).
+    ///
+    /// Failures bypass cooldown and hysteresis: this is physics, not a
+    /// scaling decision, and it must not suppress the policy's recovery
+    /// response at the next epoch.
+    pub fn fail(&mut self, n: usize) -> usize {
+        let n = n.min(self.cfg.max_gpus - self.down);
+        let mut left = n;
+        let from_active = left.min(self.active);
+        self.active -= from_active;
+        left -= from_active;
+        for batches in [&mut self.warming, &mut self.draining] {
+            for batch in batches.iter_mut() {
+                let take = left.min(batch.1);
+                batch.1 -= take;
+                left -= take;
+            }
+            batches.retain(|&(_, count)| count > 0);
+        }
+        // `left` now counts boards that were already in standby: nothing
+        // to power down, but they still join the repair queue.
+        self.down += n;
+        n
+    }
+
+    /// Returns `n` repaired GPUs to the fleet through the warming path:
+    /// they power up now and join the active set after the provisioning
+    /// delay, exactly like a scale-up — a repaired board still has to
+    /// repartition and reload models. Returns how many boards actually
+    /// came back (never more than are down). Static fleets take the same
+    /// path; [`Scaler::step`] promotes their warming batches too.
+    pub fn repair(&mut self, n: usize) -> usize {
+        let n = n.min(self.down);
+        self.down -= n;
+        if n > 0 {
+            if self.cfg.provision_delay_epochs == 0 {
+                self.active = (self.active + n).min(self.available());
+            } else {
+                self.warming
+                    .push((self.epoch + u64::from(self.cfg.provision_delay_epochs), n));
+            }
+        }
+        n
+    }
+
+    /// Failed GPUs currently out of the fleet.
+    pub fn down(&self) -> usize {
+        self.down
+    }
+
+    /// GPUs the fleet can actually field: the provisioned maximum minus
+    /// whatever the chaos layer has taken down.
+    pub fn available(&self) -> usize {
+        self.cfg.max_gpus - self.down
+    }
+
+    /// Promotes warming batches whose lag elapsed and expires finished
+    /// drain windows, clamping the active set to the surviving fleet.
+    fn promote_ready(&mut self, epoch: u64) {
+        let mut ready = 0usize;
+        self.warming.retain(|&(at, n)| {
+            if at <= epoch {
+                ready += n;
+                false
+            } else {
+                true
+            }
+        });
+        self.active = (self.active + ready).min(self.available());
+        self.draining.retain(|&(until, _)| until > epoch);
     }
 
     /// GPU count that would serve `demand` at utilization `target`,
@@ -748,6 +841,100 @@ mod tests {
     #[should_panic(expected = "scaler bounds invalid")]
     fn min_above_max_rejected() {
         let _ = ScalerConfig::new(ScalingPolicy::Static, 5, 4, 50.0);
+    }
+
+    #[test]
+    fn failed_gpus_leave_immediately_and_return_through_warming() {
+        // Static fleet, 4 GPUs: kill two, watch them come back through
+        // the warming state after the provisioning delay.
+        let (mut scaler, workload) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::Static);
+        scaler.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(scaler.fail(2), 2);
+        assert_eq!(scaler.down(), 2);
+        assert_eq!(scaler.available(), 2);
+        let f = scaler.fleet();
+        assert_eq!(f.active, 2, "failure takes effect immediately");
+        assert_eq!(f.off, 2, "dead boards are carried as off");
+        assert_eq!(scaler.repair(2), 2);
+        assert_eq!(scaler.down(), 0);
+        let f = scaler.fleet();
+        assert_eq!(f.warming, 2, "repair routes through warming");
+        assert_eq!(f.active, 2, "repaired boards do not serve yet");
+        // Default provisioning delay is one epoch: the next step promotes.
+        scaler.step(SimTime::from_hours(1.0), &workload.forecast());
+        let f2 = scaler.step(SimTime::from_hours(2.0), &workload.forecast());
+        assert_eq!(f2.active, 4, "static fleet fully recovered: {f2:?}");
+        assert_eq!(f2.warming, 0);
+    }
+
+    #[test]
+    fn scale_up_is_clamped_to_the_surviving_fleet() {
+        // Flood demand on a fleet with two dead boards: the reactive
+        // policy may only power what is actually alive.
+        let flood = Workload::poisson(1e6);
+        let (mut scaler, _quiet) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::reactive());
+        scaler.fail(2);
+        for h in 0..6 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &flood.forecast());
+            assert!(
+                f.powered() <= 2,
+                "hour {h}: powered {} of a 2-survivor fleet",
+                f.powered()
+            );
+            assert_eq!(f.active + f.warming + f.draining + f.off, 4);
+        }
+        // Repair lifts the ceiling again.
+        scaler.repair(2);
+        let mut restored = false;
+        for h in 6..10 {
+            let f = scaler.step(SimTime::from_hours(f64::from(h)), &flood.forecast());
+            restored |= f.powered() == 4;
+        }
+        assert!(restored, "fleet never regrew after repair");
+    }
+
+    #[test]
+    fn fail_takes_warming_and_draining_boards_too() {
+        // Retire three boards into a long drain, then fail all four: the
+        // active board and the draining ones all leave the fleet.
+        let quiet = Workload::poisson(10.0);
+        let mut cfg = ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0);
+        cfg.drain_epochs = 5;
+        let mut scaler = Scaler::new(cfg);
+        let f0 = scaler.step(SimTime::ZERO, &quiet.forecast());
+        assert_eq!((f0.active, f0.draining), (1, 3));
+        assert_eq!(scaler.fail(4), 4);
+        let f = scaler.fleet();
+        assert_eq!((f.active, f.warming, f.draining), (0, 0, 0));
+        assert_eq!(f.off, 4);
+        assert_eq!(scaler.down(), 4);
+        // A fifth failure has nothing left to take.
+        assert_eq!(scaler.fail(1), 0);
+        // Repairing more than is down caps at the down count.
+        assert_eq!(scaler.repair(9), 4);
+    }
+
+    #[test]
+    fn noisy_forecast_biases_the_sizing_decision() {
+        // Steady 100 req/s on 4×50: a clean reactive scaler holds at
+        // utilization 0.5. A 2× biased forecast reads 200 req/s —
+        // utilization 1.0 — and scales up on fiction.
+        use clover_workload::NoisyForecast;
+        let workload = Workload::poisson(100.0);
+        let (mut clean, _) = scaler_over(WorkloadKind::Poisson, ScalingPolicy::reactive());
+        let f = clean.step(SimTime::ZERO, &workload.forecast());
+        assert_eq!(f.active, 4);
+        assert_eq!(clean.last_reason(), ScaleReason::Hold);
+
+        let mut fooled = Scaler::new(ScalerConfig::new(ScalingPolicy::reactive(), 1, 4, 50.0));
+        fooled.active = 2; // scaled down; the clean view would hold here
+        let noisy = NoisyForecast::new(workload.forecast(), 2.0);
+        let f = fooled.step(SimTime::ZERO, &noisy);
+        assert_eq!(fooled.last_reason(), ScaleReason::ScaleUp);
+        assert!(
+            f.warming > 0,
+            "biased forecast should trigger growth: {f:?}"
+        );
     }
 
     #[test]

@@ -37,12 +37,12 @@ use crate::autoscale::{FleetState, Scaler};
 use crate::eval::DesEvaluator;
 use crate::objective::Objective;
 use crate::schedulers::{Observation, Scheduler, SchedulerCtx};
-use clover_carbon::{CarbonIntensity, CarbonMonitor};
+use clover_carbon::{CarbonIntensity, CarbonMonitor, Staleness};
 use clover_models::{ModelFamily, PerfModel};
 use clover_serving::{Deployment, ServingCarry, ServingSim, WindowMetrics};
 use clover_simkit::{SimDuration, SimRng, SimTime};
 use clover_telemetry::{Event, Phase, ProfilerHandle, Telemetry};
-use clover_workload::{ArrivalProcess, Workload};
+use clover_workload::{ArrivalProcess, NoisyForecast, Workload};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -380,6 +380,10 @@ pub struct ControlPlane {
     rng: SimRng,
     active_gpus: usize,
     sla_violated: bool,
+    /// Multiplier the chaos layer applies to every demand the scaler
+    /// reads this epoch (`1.0` — the default — is an honest forecast and
+    /// takes the plain [`clover_workload::DemandForecast`] path).
+    forecast_factor: f64,
     /// Serving state crossing the last epoch boundary (continuous
     /// full-epoch serving; empty otherwise). Owned here so the queue and
     /// in-flight work survive the epoch loop exactly like the rest of the
@@ -406,6 +410,7 @@ impl ControlPlane {
             rng,
             active_gpus,
             sla_violated: false,
+            forecast_factor: 1.0,
             carry: ServingCarry::default(),
         }
     }
@@ -413,6 +418,43 @@ impl ControlPlane {
     /// The scheduler driving the plan.
     pub fn scheduler(&self) -> &dyn Scheduler {
         self.scheduler.as_ref()
+    }
+
+    /// Sets the forecast-error factor the next [`ControlPlane::begin_epoch`]
+    /// feeds the scaler (chaos layer). Must be finite and positive; `1.0`
+    /// restores the honest forecast.
+    pub fn set_forecast_factor(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "non-positive forecast factor {factor}"
+        );
+        self.forecast_factor = factor;
+    }
+
+    /// Declares carbon-feed outage windows to the monitor (chaos layer):
+    /// inside a gap the monitor serves last-known-good intensity until
+    /// `age_cap`, then falls back blind to its reference. The carbon
+    /// *ledger* is unaffected — only the controller's view degrades.
+    pub fn set_carbon_gaps(&mut self, gaps: Vec<(SimTime, SimTime)>, age_cap: SimDuration) {
+        self.monitor.set_gaps(gaps, age_cap);
+    }
+
+    /// Removes `n` failed GPUs from the fleet, effective immediately
+    /// (their serving instances are killed separately, in the DES).
+    /// Returns how many boards actually left. See [`Scaler::fail`].
+    pub fn fleet_fail(&mut self, n: usize) -> usize {
+        self.scaler.fail(n)
+    }
+
+    /// Returns `n` repaired GPUs through the scaler's warming state.
+    /// Returns how many boards actually came back. See [`Scaler::repair`].
+    pub fn fleet_repair(&mut self, n: usize) -> usize {
+        self.scaler.repair(n)
+    }
+
+    /// Failed GPUs currently out of the fleet.
+    pub fn gpus_down(&self) -> usize {
+        self.scaler.down()
     }
 
     /// Serves one epoch **continuously**: the simulator is restored from
@@ -481,14 +523,29 @@ impl ControlPlane {
         let ci = event.current;
 
         let scaler_scope = telemetry.scope(Phase::Scaler);
-        let fleet = self.scaler.step(t, &env.workload.forecast());
+        let fleet = if self.forecast_factor == 1.0 {
+            self.scaler.step(t, &env.workload.forecast())
+        } else {
+            // Chaos: the scaler sizes against a biased view of demand. It
+            // cannot tell the difference — that is the failure mode under
+            // study. The scheduler's planning rate below stays honest; the
+            // error model targets capacity sizing, not the configuration
+            // search.
+            let noisy = NoisyForecast::new(env.workload.forecast(), self.forecast_factor);
+            self.scaler.step(t, &noisy)
+        };
         drop(scaler_scope);
         let fleet_changed = fleet.active != self.active_gpus;
         self.active_gpus = fleet.active;
 
         // Why the scheduler runs this epoch (`None`: keep the current
         // configuration). Priority order mirrors the trigger condition.
-        let cause = if epoch.index == 0 {
+        // A fully dead fleet plans nothing: there is no hardware to
+        // partition, arrivals queue (and shed) in the serving layer, and
+        // the first epoch with survivors replans via `fleet-resize`.
+        let cause = if fleet.active == 0 {
+            None
+        } else if epoch.index == 0 {
             Some("startup")
         } else if event.triggered {
             Some("carbon-drift")
@@ -499,6 +556,27 @@ impl ControlPlane {
         } else {
             None
         };
+
+        // Degraded carbon data is evidence: journal the fallback the
+        // monitor took and count it, per mode.
+        let fallback = match event.staleness {
+            Staleness::Fresh => None,
+            Staleness::Stale { age_s } => Some(("stale", age_s)),
+            Staleness::Blind { age_s } => Some(("blind", age_s)),
+        };
+        if let Some((mode, age_s)) = fallback {
+            if telemetry.journal_mut().is_some() {
+                telemetry.emit(
+                    Event::new("fallback", t)
+                        .str("mode", mode)
+                        .f64("age_s", age_s)
+                        .f64("ci_g_per_kwh", ci.g_per_kwh()),
+                );
+            }
+            if let Some(m) = telemetry.metrics_mut() {
+                m.counter_add("clover_fault_fallback_epochs_total", &[("mode", mode)], 1);
+            }
+        }
 
         if telemetry.journal_mut().is_some() {
             telemetry.emit(

@@ -30,6 +30,7 @@
 
 use crate::anneal::{EvalRecord, SaParams};
 use crate::autoscale::{Scaler, ScalerConfig, ScalingPolicy};
+use crate::chaos::{ChaosConfig, FaultPlan};
 use crate::control::{
     per_hour_or_panic, ControlPlane, EpochSchedule, Fidelity, PlaneEnv, SearchBudget,
 };
@@ -42,7 +43,7 @@ use clover_carbon::{
 use clover_mig::SliceType;
 use clover_models::zoo::Application;
 use clover_models::{ModelFamily, PerfModel};
-use clover_serving::{analytic, Deployment, ServingSim, WindowMetrics};
+use clover_serving::{analytic, Deployment, InstanceFailure, ServingSim, WindowMetrics};
 use clover_simkit::{LatencyHistogram, SimDuration, SimRng, SimTime};
 use clover_telemetry::{Event, Phase, Telemetry, TelemetryReport, TelemetrySpec};
 use clover_workload::{Workload, WorkloadKind};
@@ -149,6 +150,10 @@ pub struct ExperimentConfig {
     /// epoch-scaled at the paper-preserving fraction; see
     /// [`SearchBudget`]).
     pub search_budget: SearchBudget,
+    /// Fault processes to inject (default: none — a healthy world, with
+    /// every fault-free digest bit-identical to the pre-chaos pins; see
+    /// [`crate::chaos`]).
+    pub chaos: ChaosConfig,
 }
 
 impl ExperimentConfig {
@@ -176,6 +181,7 @@ impl ExperimentConfig {
                 monitor_threshold: CarbonMonitor::DEFAULT_THRESHOLD,
                 sa: SaParams::default(),
                 search_budget: SearchBudget::epoch_scaled(),
+                chaos: ChaosConfig::off(),
             },
             window_override: None,
         }
@@ -319,6 +325,13 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the fault processes to inject (default: none). See
+    /// [`crate::chaos::ChaosConfig`]; validated at [`Self::build`].
+    pub fn chaos(mut self, c: ChaosConfig) -> Self {
+        self.cfg.chaos = c;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -409,6 +422,9 @@ impl ExperimentConfigBuilder {
         }
         // Panics with the budget's own contract on a bad fraction.
         let _ = cfg.search_budget.apply(cfg.sa, cfg.control_epoch_s);
+        if let Err(e) = cfg.chaos.validate() {
+            panic!("experiment config: {e}");
+        }
         self.cfg
     }
 }
@@ -827,7 +843,27 @@ impl Experiment {
             initial.clone(),
             cfg.seed ^ 0xE7A1,
         );
-        let monitor = CarbonMonitor::new(self.trace.clone(), cfg.monitor_threshold);
+        // Everything that will go wrong this run, drawn up front from the
+        // seed. Chaos off generates nothing and touches no RNG — the run
+        // is bit-identical to one without the chaos layer (tests/chaos.rs
+        // pins the fault-free digests against the pre-chaos values).
+        let fault_plan = FaultPlan::generate(
+            &cfg.chaos,
+            cfg.seed,
+            cfg.n_gpus,
+            epochs as usize,
+            cfg.control_epoch_s,
+        );
+        let chaos_on = !fault_plan.is_empty();
+
+        let mut monitor = CarbonMonitor::new(self.trace.clone(), cfg.monitor_threshold);
+        let gaps = fault_plan.carbon_gaps();
+        if !gaps.is_empty() {
+            monitor.set_gaps(
+                gaps,
+                SimDuration::from_secs(CarbonMonitor::DEFAULT_AGE_CAP_S),
+            );
+        }
         let rng = SimRng::new(cfg.seed ^ 0x5C8E);
         let pue = Pue::PAPER_DEFAULT;
         let mut ledger = CarbonLedger::new(self.trace.clone(), pue);
@@ -886,9 +922,78 @@ impl Experiment {
         // instead of 720 cold starts.
         let continuous = matches!(cfg.fidelity, Fidelity::FullEpoch);
         let mut base_carry = clover_serving::ServingCarry::default();
+        // The deployment currently serving — tracked so the chaos layer
+        // can map a failed physical GPU onto its instance range.
+        let mut current_deployment = initial;
+        // Physical GPUs the control plane saw down at the previous epoch
+        // boundary; the per-boundary diff turns the fault plan's down
+        // intervals into scaler fail/repair transitions.
+        let mut prev_down: Vec<usize> = Vec::new();
 
         for epoch in schedule.iter() {
             let t = epoch.start;
+            // Chaos, boundary half: reconcile the fleet with the fault
+            // plan *before* the plane plans — `begin_epoch` must size and
+            // partition the surviving fleet, not the paper fleet. Repairs
+            // re-enter through the scaler's warming state. The
+            // synchronized BASE reference below stays un-faulted: it is
+            // the ideal-world yardstick carbon savings are measured
+            // against, and faulting it too would let a failing scheme
+            // hide behind a failing baseline.
+            if chaos_on {
+                let t_s = t.as_secs();
+                let down_now = fault_plan.down_at(t_s);
+                let failed: Vec<usize> = down_now
+                    .iter()
+                    .copied()
+                    .filter(|g| !prev_down.contains(g))
+                    .collect();
+                let repaired: Vec<usize> = prev_down
+                    .iter()
+                    .copied()
+                    .filter(|g| !down_now.contains(g))
+                    .collect();
+                plane.fleet_fail(failed.len());
+                plane.fleet_repair(repaired.len());
+                plane.set_forecast_factor(fault_plan.forecast_factor(epoch.index as usize));
+                if telemetry.journal_mut().is_some() {
+                    for &g in &failed {
+                        telemetry.emit(
+                            Event::new("fault", t)
+                                .str("kind", "gpu")
+                                .u64("gpu", g as u64)
+                                .u64("epoch", u64::from(epoch.index)),
+                        );
+                    }
+                    for &g in &repaired {
+                        telemetry.emit(
+                            Event::new("repair", t)
+                                .str("kind", "gpu")
+                                .u64("gpu", g as u64)
+                                .u64("epoch", u64::from(epoch.index)),
+                        );
+                    }
+                }
+                if let Some(m) = telemetry.metrics_mut() {
+                    let labels: &[(&str, &str)] = &[("scheme", cfg.scheme.label())];
+                    if !failed.is_empty() {
+                        m.counter_add(
+                            "clover_fault_gpu_failures_total",
+                            labels,
+                            failed.len() as u64,
+                        );
+                    }
+                    if !repaired.is_empty() {
+                        m.counter_add(
+                            "clover_fault_gpu_repairs_total",
+                            labels,
+                            repaired.len() as u64,
+                        );
+                    }
+                    m.gauge_set("clover_fault_gpus_down", labels, down_now.len() as f64);
+                }
+                prev_down = down_now;
+            }
             let plan = plane.begin_epoch_with(&epoch, &env, telemetry);
             let ci = plan.ci;
             let fleet = plan.fleet;
@@ -918,7 +1023,88 @@ impl Experiment {
                 );
             }
             if let Some(deployment) = plan.deployment {
+                current_deployment = deployment.clone();
                 sim.set_deployment(deployment);
+            }
+
+            // Chaos, serving half: faults landing *inside* this epoch
+            // become DES events. Under continuous (full-epoch) serving a
+            // mid-window GPU kill takes down its instance range at the
+            // fault instant — in-flight work re-queues oldest-first; the
+            // representative-window path gets epoch-granularity fleet
+            // effects only (the boundary diff above), since its short
+            // window does not span the epoch it extrapolates. A fully
+            // dead fleet is killed at the window's open on either path:
+            // arrivals queue, shed at the bound, and recover after
+            // repair — no scheme gets to deadlock.
+            if chaos_on {
+                let t_s = t.as_secs();
+                let end_s = t_s + epoch_len.as_secs();
+                let mut failures: Vec<InstanceFailure> = Vec::new();
+                if fleet.active == 0 {
+                    let n_inst = current_deployment.n_instances();
+                    if n_inst > 0 {
+                        failures.push(InstanceFailure {
+                            at_s: 0.0,
+                            instances: (0..n_inst as u32).collect(),
+                            gpus: current_deployment.n_gpus() as u32,
+                        });
+                    }
+                } else if continuous {
+                    // Deployment slot j serves on the j-th lowest alive
+                    // physical GPU; instances are flat in GPU order, so
+                    // prefix sums over the per-GPU slice counts give each
+                    // slot's instance range.
+                    let mut offsets = vec![0u32];
+                    for c in current_deployment.partitioning().configs() {
+                        offsets.push(offsets.last().unwrap() + c.num_slices() as u32);
+                    }
+                    let alive: Vec<usize> = (0..cfg.n_gpus)
+                        .filter(|&g| !fault_plan.is_down(g, t_s))
+                        .collect();
+                    let deployed = current_deployment.n_gpus();
+                    for kill in fault_plan.kills_in(t_s, end_s) {
+                        let Some(slot) = alive.iter().take(deployed).position(|&g| g == kill.gpu)
+                        else {
+                            continue; // fell on a board outside the deployment
+                        };
+                        if telemetry.journal_mut().is_some() {
+                            telemetry.emit(
+                                Event::new("fault", SimTime::from_secs(kill.at_s()))
+                                    .str("kind", "kill")
+                                    .u64("gpu", kill.gpu as u64)
+                                    .u64("instances", u64::from(offsets[slot + 1] - offsets[slot])),
+                            );
+                        }
+                        failures.push(InstanceFailure {
+                            at_s: kill.at_s() - t_s,
+                            instances: (offsets[slot]..offsets[slot + 1]).collect(),
+                            gpus: 1,
+                        });
+                    }
+                    let n_inst = current_deployment.n_instances();
+                    for crash in fault_plan.crashes_in(t_s, end_s) {
+                        if n_inst == 0 {
+                            break;
+                        }
+                        let idx = ((crash.selector * n_inst as f64) as usize).min(n_inst - 1);
+                        if telemetry.journal_mut().is_some() {
+                            telemetry.emit(
+                                Event::new("fault", SimTime::from_secs(crash.at_s))
+                                    .str("kind", "crash")
+                                    .u64("instance", idx as u64),
+                            );
+                        }
+                        failures.push(InstanceFailure {
+                            at_s: crash.at_s - t_s,
+                            instances: vec![idx as u32],
+                            gpus: 0,
+                        });
+                    }
+                }
+                if !failures.is_empty() {
+                    sim.set_window_failures(failures);
+                }
             }
 
             // The epoch's serving measurement — a representative window
@@ -951,7 +1137,11 @@ impl Experiment {
             // (With the Static policy both counts are zero and this charge
             // vanishes.) The serving windows above already cover the
             // active fleet's static/idle/dynamic draw.
-            let overhead_w = fleet.off as f64 * self.perf.power.standby_gpu_w()
+            // Down boards draw nothing — a failed GPU is off the bus, not
+            // on standby — so they are carved out of the off count the
+            // scaler reports (chaos off ⇒ gpus_down() == 0, identical sum).
+            let off_powered = fleet.off.saturating_sub(plane.gpus_down());
+            let overhead_w = off_powered as f64 * self.perf.power.standby_gpu_w()
                 + fleet.warming as f64 * self.perf.power.gpu_static_w();
             ledger.record_power(t, epoch_len, overhead_w);
             // Draining boards are the honest scale-down transition cost:
@@ -1019,7 +1209,8 @@ impl Experiment {
                         .u64("arrived", w.arrived)
                         .u64("served", w.served)
                         .u64("dropped", w.dropped)
-                        .u64("backlog", plane.backlog()),
+                        .u64("backlog", plane.backlog())
+                        .f64("leak", w.conservation_leak as f64),
                 );
             }
             if let Some(m) = telemetry.metrics_mut() {
@@ -1031,6 +1222,13 @@ impl Experiment {
                 m.counter_add("clover_requests_dropped_total", labels, w.dropped);
                 m.gauge_set("clover_backlog_requests", labels, plane.backlog() as f64);
                 m.gauge_set("clover_active_gpus", labels, fleet.active as f64);
+                if w.conservation_leak != 0 {
+                    m.counter_add("clover_conservation_violations_total", labels, 1);
+                }
+                if chaos_on {
+                    m.counter_add("clover_fault_kills_total", labels, w.fault_kills);
+                    m.counter_add("clover_fault_requeued_total", labels, w.fault_requeued);
+                }
             }
 
             // Synchronized BASE reference epoch, under the same workload

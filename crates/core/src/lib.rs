@@ -19,6 +19,10 @@
 //!   forecast-driven [`Scaler`] that powers GPUs up and down ahead of
 //!   demand swings, with hysteresis, cooldown, provisioning delay and a
 //!   scale-down drain window.
+//! - [`chaos`] — deterministic fault injection: [`FaultPlan`]s of GPU
+//!   failures, brownouts, instance crashes, carbon-feed gaps and forecast
+//!   error, all drawn up front from the experiment seed so faulted runs
+//!   stay reproducible and chaos-off digests stay bit-identical.
 //! - [`control`] — the control plane: [`ControlEpoch`] cadence (sub-hour
 //!   capable), serving [`Fidelity`] (representative window vs full epoch),
 //!   and the monitor → scaler → scheduler loop as a stepped API.
@@ -34,6 +38,7 @@
 
 pub mod anneal;
 pub mod autoscale;
+pub mod chaos;
 pub mod control;
 pub mod eval;
 pub mod experiment;
@@ -44,6 +49,7 @@ pub mod schedulers;
 
 pub use anneal::{anneal, EvalRecord, OptimizationRun, SaParams, SearchLedger};
 pub use autoscale::{FleetState, ScaleReason, Scaler, ScalerConfig, ScalingPolicy};
+pub use chaos::{ChaosConfig, CrashEvent, FaultPlan, FaultSpec, GpuKill};
 pub use control::{ControlEpoch, ControlPlane, EpochSchedule, Fidelity, PlaneEnv, WindowPlan};
 pub use eval::DesEvaluator;
 pub use experiment::{Experiment, ExperimentConfig, ExperimentOutcome, TraceSource};

@@ -23,4 +23,6 @@ pub mod sim;
 
 pub use analytic::{estimate, AnalyticEstimate};
 pub use deployment::{Deployment, DeploymentError};
-pub use sim::{ServingCarry, ServingSim, WindowMetrics, MAX_QUEUE, SERVICE_JITTER_SIGMA};
+pub use sim::{
+    InstanceFailure, ServingCarry, ServingSim, WindowMetrics, MAX_QUEUE, SERVICE_JITTER_SIGMA,
+};

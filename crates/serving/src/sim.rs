@@ -54,7 +54,29 @@ pub mod stream {
 
 /// Requests queued beyond this bound are dropped (an overloaded deployment
 /// such as BASE on 2 GPUs would otherwise grow the queue without limit).
+/// Requests re-queued by an instance failure are already-admitted work and
+/// may transiently push the queue past this bound; only new arrivals shed.
 pub const MAX_QUEUE: usize = 100_000;
+
+/// A scheduled mid-window failure: at `at_s` on the window's local clock,
+/// the named instances go down for the remainder of the window. A dying
+/// instance's in-flight request loses its partial service and rejoins the
+/// queue ahead of the waiting requests (oldest first) — work is conserved,
+/// progress is not. `gpus` counts the physical GPUs taken down with these
+/// instances so their static draw stops at the failure instant.
+///
+/// Failures are injected per window via
+/// [`ServingSim::set_window_failures`]; with none set (the default) the
+/// simulation is bit-identical to a fault-free run.
+#[derive(Debug, Clone)]
+pub struct InstanceFailure {
+    /// Failure instant, seconds on the window's local clock.
+    pub at_s: f64,
+    /// Instance indices (into the deployment's instance order) going down.
+    pub instances: Vec<u32>,
+    /// Physical GPUs powered off by this failure (for static-energy credit).
+    pub gpus: u32,
+}
 
 /// Relative (lognormal sigma) jitter applied to service times.
 pub const SERVICE_JITTER_SIGMA: f64 = 0.08;
@@ -99,6 +121,16 @@ pub struct WindowMetrics {
     /// Full latency distribution of served requests (mergeable across
     /// windows for run-level quantiles).
     pub latency_hist: LatencyHistogram,
+    /// Signed residual of the continuous conservation law
+    /// `carried_in + arrived - (served + dropped + carried_out)`. Always 0
+    /// unless the bookkeeping itself is broken; checked on every continuous
+    /// epoch (not just debug builds) so a violation surfaces as a journal
+    /// event instead of aborting a release run. Classic windows report 0.
+    pub conservation_leak: i64,
+    /// Instances killed by injected failures within this window.
+    pub fault_kills: u64,
+    /// In-flight requests re-queued because their instance failed.
+    pub fault_requeued: u64,
 }
 
 impl WindowMetrics {
@@ -159,12 +191,27 @@ struct Instance {
     pending_interval: Option<(f64, f64)>,
     /// Accumulated busy seconds clipped to the measured span.
     busy_in_span_s: f64,
+    /// False once an injected failure has taken this instance down.
+    up: bool,
+    /// Bumped on every failure; `Done` events from before the failure carry
+    /// the old generation and are discarded as stale.
+    gen: u32,
+    /// Failure instant on the window clock, if the instance went down
+    /// (dead slices stop drawing idle power from this point).
+    down_at_s: Option<f64>,
 }
 
 #[derive(Clone, Copy)]
 enum Ev {
     Arrive,
-    Done { instance: u32 },
+    Done {
+        instance: u32,
+        gen: u32,
+    },
+    /// Index into the window's injected-failure schedule.
+    Fault {
+        failure: u32,
+    },
 }
 
 /// Per-window working state, carried across the hundreds of windows an
@@ -279,6 +326,8 @@ pub struct ServingSim {
     /// [`clover_telemetry::Phase::Carry`]. Wall-clock only — attaching a
     /// profiler changes no simulated result.
     profiler: Option<ProfilerHandle>,
+    /// Failure schedule consumed by the next window (taken, not kept).
+    pending_failures: Vec<InstanceFailure>,
 }
 
 impl ServingSim {
@@ -298,7 +347,15 @@ impl ServingSim {
             rng: SimRng::new(seed),
             scratch: SimScratch::new(),
             profiler: None,
+            pending_failures: Vec::new(),
         }
+    }
+
+    /// Schedules injected instance failures for the *next* window only;
+    /// the schedule is consumed when that window runs. With no failures
+    /// set, every path is bit-identical to the pre-chaos simulator.
+    pub fn set_window_failures(&mut self, failures: Vec<InstanceFailure>) {
+        self.pending_failures = failures;
     }
 
     /// Attach (or detach) a phase profiler; carry hand-offs at continuous
@@ -429,6 +486,9 @@ impl ServingSim {
                     in_flight: None,
                     pending_interval: None,
                     busy_in_span_s: 0.0,
+                    up: true,
+                    gen: 0,
+                    down_at_s: None,
                 }
             }));
 
@@ -473,6 +533,7 @@ impl ServingSim {
                         SimTime::from_secs(r.remaining_s),
                         Ev::Done {
                             instance: r.instance,
+                            gen: 0,
                         },
                     );
                 }
@@ -522,6 +583,19 @@ impl ServingSim {
         let mut dropped = 0u64;
         let mut sim_events = 0u64;
         let mut dynamic_j = 0.0f64;
+        let mut fault_kills = 0u64;
+        let mut fault_requeued = 0u64;
+
+        // Injected failures land as ordinary DES events. The schedule is
+        // consumed by this window; chaos-off runs never reach this loop
+        // body and schedule nothing.
+        let failures = std::mem::take(&mut self.pending_failures);
+        for (k, f) in failures.iter().enumerate() {
+            let at = SimTime::from_secs(f.at_s.max(0.0));
+            if at <= horizon {
+                q.schedule(at, Ev::Fault { failure: k as u32 });
+            }
+        }
 
         if let Some(first) = arrivals.next_after(SimTime::ZERO, &mut arrival_rng) {
             q.schedule(first, Ev::Arrive);
@@ -564,8 +638,45 @@ impl ServingSim {
                         dropped += 1;
                     }
                 }
-                Ev::Done { instance } => {
+                Ev::Fault { failure } => {
+                    let f = &failures[failure as usize];
+                    // Collect the dying instances' in-flight arrivals so
+                    // they can rejoin the queue oldest-first.
+                    let mut requeue: Vec<f64> = Vec::new();
+                    for &inst_idx in &f.instances {
+                        let i = inst_idx as usize;
+                        if i >= instances.len() || !instances[i].up {
+                            continue;
+                        }
+                        let inst = &mut instances[i];
+                        inst.up = false;
+                        inst.gen = inst.gen.wrapping_add(1);
+                        inst.down_at_s = Some(now.as_secs());
+                        fault_kills += 1;
+                        // The aborted request burned power up to the
+                        // failure instant; its scheduled completion is now
+                        // stale (old generation) and will be discarded.
+                        if let Some((a, _)) = inst.pending_interval.take() {
+                            inst.pending_interval = Some((a, now.as_secs()));
+                        }
+                        inst.fold_interval(warmup_end_s, horizon_s);
+                        if let Some(arr) = inst.in_flight.take() {
+                            requeue.push(arr);
+                            fault_requeued += 1;
+                        }
+                        idle.retain(|&j| j != inst_idx);
+                    }
+                    // Oldest first, ahead of everything already waiting.
+                    requeue.sort_by(|a, b| a.partial_cmp(b).expect("finite arrivals"));
+                    for &arr in requeue.iter().rev() {
+                        fifo.push_front(arr);
+                    }
+                }
+                Ev::Done { instance, gen } => {
                     let i = instance as usize;
+                    if instances[i].gen != gen {
+                        continue; // stale completion of a failed instance
+                    }
                     instances[i].fold_interval(warmup_end_s, horizon_s);
                     let arrived_at = instances[i]
                         .in_flight
@@ -609,14 +720,18 @@ impl ServingSim {
             .as_ref()
             .filter(|_| continuous)
             .map(|p| p.scope(Phase::Carry));
+        let mut conservation_leak = 0i64;
         let carry_out = continuous.then(|| {
             let mut out = ServingCarry {
                 deployment: Some(self.deployment.clone()),
                 ..ServingCarry::default()
             };
             while let Some((t, ev)) = q.pop() {
-                if let Ev::Done { instance } = ev {
+                if let Ev::Done { instance, gen } = ev {
                     let i = instance as usize;
+                    if instances[i].gen != gen {
+                        continue; // stale completion of a failed instance
+                    }
                     instances[i].fold_interval(warmup_end_s, horizon_s);
                     let arrived_at = instances[i]
                         .in_flight
@@ -630,9 +745,14 @@ impl ServingSim {
                 }
             }
             out.queue_ages_s.extend(fifo.iter().map(|&a| horizon_s - a));
+            // The conservation law is checked on every continuous epoch —
+            // release builds included. A nonzero leak is surfaced to the
+            // caller (journal `conservation` violation event) instead of
+            // aborting the run; debug builds still halt at the fault.
+            conservation_leak =
+                (carried_in + arrived) as i64 - (served + dropped + out.backlog()) as i64;
             debug_assert_eq!(
-                carried_in + arrived,
-                served + dropped + out.backlog(),
+                conservation_leak, 0,
                 "continuous epoch leaked a request at the boundary"
             );
             out
@@ -646,10 +766,21 @@ impl ServingSim {
         let mut busy_integral = 0.0;
         for inst in instances.iter() {
             dynamic_j += inst.busy_w * inst.busy_in_span_s;
-            idle_j += inst.idle_w * (span_s - inst.busy_in_span_s).max(0.0);
+            // A dead slice stops drawing idle power at its failure instant.
+            let dead_s = inst
+                .down_at_s
+                .map_or(0.0, |d| (horizon_s - d.max(warmup_end_s)).max(0.0));
+            idle_j += inst.idle_w * (span_s - inst.busy_in_span_s - dead_s).max(0.0);
             busy_integral += inst.busy_in_span_s;
         }
-        let static_j = self.perf.power.gpu_static_w() * self.deployment.n_gpus() as f64 * span_s;
+        let mut static_j =
+            self.perf.power.gpu_static_w() * self.deployment.n_gpus() as f64 * span_s;
+        // Dead GPUs stop drawing static power at their failure instant.
+        for f in &failures {
+            let dead_s = (horizon_s - f.at_s.max(warmup_end_s)).max(0.0);
+            static_j -= self.perf.power.gpu_static_w() * f.gpus as f64 * dead_s.min(span_s);
+        }
+        static_j = static_j.max(0.0);
 
         let metrics = WindowMetrics {
             span_s,
@@ -668,6 +799,9 @@ impl ServingSim {
             static_energy_j: static_j,
             mean_busy_instances: busy_integral / span_s,
             latency_hist: hist.clone(),
+            conservation_leak,
+            fault_kills,
+            fault_requeued,
         };
         (metrics, carry_out)
     }
@@ -710,13 +844,17 @@ impl ServingSim {
         q: &mut EventQueue<Ev>,
     ) {
         debug_assert!(inst.in_flight.is_none());
+        debug_assert!(inst.up, "dispatch to a failed instance");
         inst.in_flight = Some(arrived_at_s);
         // Lognormal jitter with unit mean.
         let jitter = (jitter_sigma * rng.normal() - 0.5 * jitter_sigma * jitter_sigma).exp();
         let service = inst.mean_service_s * jitter;
         q.schedule_in(
             SimDuration::from_secs(service),
-            Ev::Done { instance: index },
+            Ev::Done {
+                instance: index,
+                gen: inst.gen,
+            },
         );
         // Busy intervals can straddle the span edges; remember the exact
         // interval and clip it to the measured span at completion.
@@ -1128,6 +1266,120 @@ mod tests {
         let c = run(8);
         assert_eq!(a, b);
         assert_ne!(a, c, "seed 8 repeated seed 7 exactly");
+    }
+
+    #[test]
+    fn instance_failure_requeues_in_flight_work_and_conserves_requests() {
+        let fam = efficientnet();
+        let perf = PerfModel::a100();
+        let cap = perf.capacity_rps(fam.largest(), clover_mig::SliceType::G7) * 2.0;
+        let mut sim = ServingSim::new(fam.clone(), perf, Deployment::base(&fam, 2), 21);
+        let epoch = SimDuration::from_secs(30.0);
+        // Kill one of the two instances (one full GPU) mid-epoch.
+        sim.set_window_failures(vec![InstanceFailure {
+            at_s: 10.0,
+            instances: vec![0],
+            gpus: 1,
+        }]);
+        let mut p = clover_workload::PoissonProcess::new(cap * 0.9);
+        let (w, carry) = sim.run_epoch_continuous(&mut p, epoch, ServingCarry::default());
+        assert_eq!(w.fault_kills, 1);
+        assert_eq!(w.fault_requeued, 1, "the busy instance's work re-queues");
+        assert_eq!(w.conservation_leak, 0);
+        assert_eq!(
+            w.arrived,
+            w.served + w.dropped + carry.backlog(),
+            "failure leaked a request"
+        );
+        // The survivor alone cannot keep up with 90% of two-instance
+        // capacity: a backlog builds.
+        assert!(carry.backlog() > 0, "half-dead fleet should fall behind");
+        // Reference run without the failure: identical seed, more served.
+        let mut reference = ServingSim::new(
+            fam.clone(),
+            PerfModel::a100(),
+            Deployment::base(&fam, 2),
+            21,
+        );
+        let mut p2 = clover_workload::PoissonProcess::new(cap * 0.9);
+        let (w_ok, _) = reference.run_epoch_continuous(&mut p2, epoch, ServingCarry::default());
+        assert!(w_ok.served > w.served);
+        // Dead capacity stops burning: less static+idle energy than the
+        // healthy run over the same span.
+        assert!(w.static_energy_j < w_ok.static_energy_j);
+    }
+
+    #[test]
+    fn fully_dead_fleet_queues_then_sheds_without_deadlock() {
+        let fam = efficientnet();
+        let mut sim = ServingSim::new(
+            fam.clone(),
+            PerfModel::a100(),
+            Deployment::base(&fam, 2),
+            33,
+        );
+        let epoch = SimDuration::from_secs(20.0);
+        // Everything dies at the window's opening instant.
+        sim.set_window_failures(vec![InstanceFailure {
+            at_s: 0.0,
+            instances: vec![0, 1],
+            gpus: 2,
+        }]);
+        let mut p = clover_workload::PoissonProcess::new(200.0);
+        let (w, carry) = sim.run_epoch_continuous(&mut p, epoch, ServingCarry::default());
+        assert_eq!(w.served, 0, "a dead fleet serves nothing");
+        assert_eq!(w.conservation_leak, 0);
+        assert_eq!(w.arrived, w.dropped + carry.backlog());
+        assert_eq!(
+            carry.backlog() as usize,
+            carry.queued(),
+            "nothing in flight"
+        );
+        assert!(carry.backlog() > 0, "arrivals must queue, not vanish");
+    }
+
+    #[test]
+    fn empty_failure_schedule_is_bit_identical_to_no_schedule() {
+        let fam = efficientnet();
+        let d = Deployment::base(&fam, 2);
+        let mut a = ServingSim::new(fam.clone(), PerfModel::a100(), d.clone(), 7);
+        a.set_window_failures(Vec::new());
+        let mut b = ServingSim::new(fam, PerfModel::a100(), d, 7);
+        let wa = a.run_window(
+            100.0,
+            SimDuration::from_secs(20.0),
+            SimDuration::from_secs(2.0),
+        );
+        let wb = b.run_window(
+            100.0,
+            SimDuration::from_secs(20.0),
+            SimDuration::from_secs(2.0),
+        );
+        assert_eq!(wa.arrived, wb.arrived);
+        assert_eq!(wa.served, wb.served);
+        assert_eq!(wa.p95_latency_s, wb.p95_latency_s);
+        assert_eq!(wa.dynamic_energy_j, wb.dynamic_energy_j);
+        assert_eq!(wa.idle_energy_j, wb.idle_energy_j);
+        assert_eq!(wa.static_energy_j, wb.static_energy_j);
+        assert_eq!(wa.sim_events, wb.sim_events);
+    }
+
+    #[test]
+    fn failure_schedule_is_consumed_by_one_window() {
+        let fam = efficientnet();
+        let mut sim = ServingSim::new(fam.clone(), PerfModel::a100(), Deployment::base(&fam, 2), 5);
+        sim.set_window_failures(vec![InstanceFailure {
+            at_s: 1.0,
+            instances: vec![0],
+            gpus: 1,
+        }]);
+        let w1 = sim.run_window(50.0, SimDuration::from_secs(10.0), SimDuration::ZERO);
+        assert_eq!(w1.fault_kills, 1);
+        let w2 = sim.run_window(50.0, SimDuration::from_secs(10.0), SimDuration::ZERO);
+        assert_eq!(
+            w2.fault_kills, 0,
+            "schedule must not leak into later windows"
+        );
     }
 
     #[test]

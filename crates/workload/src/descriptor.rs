@@ -471,6 +471,74 @@ impl DemandForecast<'_> {
     }
 }
 
+/// The demand queries a capacity planner (the autoscaler) sizes against —
+/// the common face of the honest [`DemandForecast`] and the chaos layer's
+/// [`NoisyForecast`], so consumers cannot tell degraded data from live
+/// data (which is the point).
+pub trait DemandView {
+    /// Expected instantaneous rate at global time `t`, req/s.
+    fn rate_at(&self, t: SimTime) -> f64;
+    /// Expected mean rate over `[from, from + span]`, req/s.
+    fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64;
+    /// Largest expected rate within `[from, from + span]`, req/s.
+    fn peak_over(&self, from: SimTime, span: SimDuration) -> f64;
+}
+
+impl DemandView for DemandForecast<'_> {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        DemandForecast::rate_at(self, t)
+    }
+    fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64 {
+        DemandForecast::windowed_mean(self, from, span)
+    }
+    fn peak_over(&self, from: SimTime, span: SimDuration) -> f64 {
+        DemandForecast::peak_over(self, from, span)
+    }
+}
+
+/// A [`DemandForecast`] distorted by a multiplicative error — the degraded
+/// view a planner sees when its forecaster carries bias and noise. The
+/// factor is typically `bias × lognormal(sigma)`, drawn once per control
+/// epoch by the chaos layer; a factor of exactly 1 reproduces the honest
+/// forecast.
+#[derive(Debug, Clone, Copy)]
+pub struct NoisyForecast<'a> {
+    inner: DemandForecast<'a>,
+    factor: f64,
+}
+
+impl<'a> NoisyForecast<'a> {
+    /// Wraps `inner`, scaling every demand query by `factor`.
+    ///
+    /// # Panics
+    /// Panics unless `factor` is finite and positive — a non-positive
+    /// "demand" is not an error model, it is a broken planner.
+    pub fn new(inner: DemandForecast<'a>, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "non-positive forecast error factor {factor}"
+        );
+        NoisyForecast { inner, factor }
+    }
+
+    /// The distortion factor applied to every query.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+}
+
+impl DemandView for NoisyForecast<'_> {
+    fn rate_at(&self, t: SimTime) -> f64 {
+        self.inner.rate_at(t) * self.factor
+    }
+    fn windowed_mean(&self, from: SimTime, span: SimDuration) -> f64 {
+        self.inner.windowed_mean(from, span) * self.factor
+    }
+    fn peak_over(&self, from: SimTime, span: SimDuration) -> f64 {
+        self.inner.peak_over(from, span) * self.factor
+    }
+}
+
 /// Arrivals of the (possibly periodically extended) trace in `[a, b)`.
 fn count_in(trace: &ArrivalTrace, a: f64, b: f64, looping: bool) -> f64 {
     let times = trace.times_s();

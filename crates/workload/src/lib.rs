@@ -71,7 +71,7 @@ pub mod process;
 pub mod rate;
 pub mod trace_io;
 
-pub use descriptor::{DemandForecast, Workload, WorkloadKind};
+pub use descriptor::{DemandForecast, DemandView, NoisyForecast, Workload, WorkloadKind};
 pub use process::{ArrivalProcess, MmppProcess, NhppProcess, PoissonProcess, TraceReplayProcess};
 pub use rate::RateCurve;
 pub use trace_io::{ArrivalTrace, TraceParseError};

@@ -178,11 +178,17 @@ impl ArrivalTrace {
             }
             if let Some(comment) = line.strip_prefix('#') {
                 if let Some(v) = comment.split("span_s=").nth(1) {
-                    span = Some(
-                        v.trim()
-                            .parse()
-                            .map_err(|e| TraceParseError::new(i + 1, format!("bad span: {e}")))?,
-                    );
+                    let s: f64 = v
+                        .trim()
+                        .parse()
+                        .map_err(|e| TraceParseError::new(i + 1, format!("bad span: {e}")))?;
+                    if !s.is_finite() || s <= 0.0 {
+                        return Err(TraceParseError::new(
+                            i + 1,
+                            format!("non-positive or non-finite span {s}"),
+                        ));
+                    }
+                    span = Some(s);
                 }
                 continue;
             }
@@ -272,6 +278,33 @@ mod tests {
         assert_eq!(err.line, 3);
         assert!(err.to_string().contains("line 3"));
         assert!(ArrivalTrace::from_csv("arrival_s\n").is_err());
+    }
+
+    #[test]
+    fn corrupt_csv_is_a_lined_error_not_a_panic() {
+        // Truncated row mid-float.
+        let err = ArrivalTrace::from_csv("arrival_s\n1.0\n2.5e\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        // Negative and non-finite timestamps.
+        let err = ArrivalTrace::from_csv("arrival_s\n1.0\n-3.0\n").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(ArrivalTrace::from_csv("arrival_s\ninf\n").is_err());
+        assert!(ArrivalTrace::from_csv("arrival_s\nNaN\n").is_err());
+        // A corrupt span comment must error, not reach the panicking
+        // constructor downstream.
+        let err =
+            ArrivalTrace::from_csv("# arrival trace, span_s=oops\narrival_s\n1.0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err =
+            ArrivalTrace::from_csv("# arrival trace, span_s=inf\narrival_s\n1.0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err =
+            ArrivalTrace::from_csv("# arrival trace, span_s=-5\narrival_s\n1.0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        // A span that does not cover the data is rejected explicitly.
+        let err =
+            ArrivalTrace::from_csv("# arrival trace, span_s=2\narrival_s\n1.0\n3.0\n").unwrap_err();
+        assert!(err.to_string().contains("does not cover"));
     }
 
     #[test]
