@@ -104,6 +104,27 @@ pub enum FaultSpec {
         /// Lognormal noise σ per epoch; `0.0` is noise-free.
         sigma: f64,
     },
+    /// A whole serving region going dark for a fixed window — the
+    /// deterministic fault the multi-region router fails over across
+    /// (`clover-router`): the region serves nothing, its backlog drains
+    /// to the surviving regions through the transit buffer, and it
+    /// rejoins at the first epoch boundary at or after
+    /// `start_h + duration_h`.
+    ///
+    /// Unlike the stochastic specs above this one draws **no randomness**:
+    /// the window is the spec. The single-cluster runtime has no region
+    /// axis and ignores it entirely ([`FaultPlan::generate`] emits
+    /// nothing for it and touches no RNG), so adding a region outage to a
+    /// config leaves every single-cluster digest bit-identical; the
+    /// router reads the windows via [`ChaosConfig::region_outages`].
+    RegionOutage {
+        /// Index of the region taken down, in the router's region order.
+        region: usize,
+        /// Outage onset, hours from the start of the run.
+        start_h: f64,
+        /// Outage length, hours.
+        duration_h: f64,
+    },
 }
 
 impl FaultSpec {
@@ -158,6 +179,18 @@ impl FaultSpec {
                     ))
                 }
             }
+            FaultSpec::RegionOutage {
+                start_h,
+                duration_h,
+                ..
+            } => {
+                if !(start_h.is_finite() && start_h >= 0.0) {
+                    return Err(format!(
+                        "region outage start_h must be finite and >= 0, got {start_h}"
+                    ));
+                }
+                pos("region outage duration_h", duration_h)
+            }
         }
     }
 }
@@ -196,6 +229,33 @@ impl ChaosConfig {
                 .map_err(|e| format!("chaos spec {i}: {e}"))?;
         }
         Ok(())
+    }
+
+    /// The configured whole-region outage windows, as
+    /// `(region, start_s, end_s)` sorted by region then onset — the
+    /// multi-region router's view of [`FaultSpec::RegionOutage`] specs
+    /// (every other runtime ignores them). Windows are half-open
+    /// `[start, end)` in run-global seconds; the router quantizes both
+    /// edges to its control-epoch boundaries when applying them.
+    pub fn region_outages(&self) -> Vec<(usize, f64, f64)> {
+        let mut out: Vec<(usize, f64, f64)> = self
+            .specs
+            .iter()
+            .filter_map(|s| match *s {
+                FaultSpec::RegionOutage {
+                    region,
+                    start_h,
+                    duration_h,
+                } => Some((region, start_h * 3600.0, (start_h + duration_h) * 3600.0)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            (a.0, a.1)
+                .partial_cmp(&(b.0, b.1))
+                .expect("finite outage windows")
+        });
+        out
     }
 
     /// The `fig_resilience` sweep cell: GPU failures at the given MTBF
@@ -390,6 +450,12 @@ impl FaultPlan {
                         *factor *= bias * (sigma * rng.normal()).exp();
                     }
                 }
+                // Deterministic by construction and meaningless to a
+                // single cluster: interpreted by the multi-region runtime
+                // (`clover-router`) via `ChaosConfig::region_outages`.
+                // Draws nothing, so its presence leaves every
+                // single-cluster digest bit-identical.
+                FaultSpec::RegionOutage { .. } => {}
             }
         }
 
@@ -695,5 +761,55 @@ mod tests {
         }
         assert!(ChaosConfig::resilience(8.0).validate().is_ok());
         assert!(ChaosConfig::resilience(0.0).is_off());
+    }
+
+    #[test]
+    fn region_outages_are_deterministic_data_not_faults() {
+        let cfg = ChaosConfig::off()
+            .with(FaultSpec::RegionOutage {
+                region: 2,
+                start_h: 6.0,
+                duration_h: 3.0,
+            })
+            .with(FaultSpec::RegionOutage {
+                region: 0,
+                start_h: 1.5,
+                duration_h: 0.5,
+            });
+        assert!(cfg.validate().is_ok());
+        // The single-cluster fault machinery emits nothing for them —
+        // the generated plan is empty (and therefore chaos_on = false in
+        // the experiment runtime: digests stay bit-identical).
+        let plan = FaultPlan::generate(&cfg, 7, 8, 24, 3600.0);
+        assert!(plan.is_empty());
+        // The router's view: sorted (region, start_s, end_s) windows.
+        assert_eq!(
+            cfg.region_outages(),
+            vec![(0, 5400.0, 7200.0), (2, 21600.0, 32400.0)]
+        );
+        assert!(ChaosConfig::off().region_outages().is_empty());
+    }
+
+    #[test]
+    fn invalid_region_outages_are_rejected() {
+        for bad in [
+            FaultSpec::RegionOutage {
+                region: 0,
+                start_h: -1.0,
+                duration_h: 1.0,
+            },
+            FaultSpec::RegionOutage {
+                region: 0,
+                start_h: 0.0,
+                duration_h: 0.0,
+            },
+            FaultSpec::RegionOutage {
+                region: 0,
+                start_h: f64::NAN,
+                duration_h: 1.0,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 }

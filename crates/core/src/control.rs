@@ -481,6 +481,23 @@ impl ControlPlane {
         self.carry.backlog()
     }
 
+    /// The boundary carry itself (queued/in-flight split, not just the
+    /// total) — what the multi-region router snapshots when computing
+    /// routing weights and migration targets.
+    pub fn carry(&self) -> &ServingCarry {
+        &self.carry
+    }
+
+    /// Mutable access to the boundary carry, for epoch-boundary request
+    /// migration (the multi-region router moves queued work between
+    /// clusters through [`ServingCarry::take_queued_newest`] /
+    /// [`ServingCarry::absorb_queued`] / [`ServingCarry::drain_for_migration`]).
+    /// Only meaningful between a [`ControlPlane::serve_continuous`] call
+    /// and the next — mutating it mid-epoch has no target to land on.
+    pub fn carry_mut(&mut self) -> &mut ServingCarry {
+        &mut self.carry
+    }
+
     /// Opens `epoch`: observes the grid, sizes the fleet, and — when a
     /// control trigger fires (start-up, carbon drift beyond the monitor
     /// threshold, an SLA violation in the previous epoch, a fleet resize)

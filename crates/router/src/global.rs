@@ -1,0 +1,1111 @@
+//! The global router: one serving system spanning N grid regions.
+//!
+//! A [`GlobalRouter`] is the multi-region counterpart of the single-cluster
+//! experiment runtime. It stands up one [`RegionalFleet`] per configured
+//! region and, each control epoch:
+//!
+//! 1. reconciles region outages ([`clover_core::chaos::FaultSpec::RegionOutage`])
+//!    — a region going dark drains its entire backlog into a transit pool,
+//!    each request aged by the inter-region transfer latency;
+//! 2. snapshots every region (carbon now and ahead, queues, live capacity)
+//!    and asks the configured [`RoutePolicy`](crate::policy::RoutePolicy)
+//!    for a traffic split, which the router masks to live regions and
+//!    normalizes;
+//! 3. optionally rebalances queued backlog toward the split (carbon-aware
+//!    policies opt in via
+//!    [`RoutePolicy::rebalances_backlog`](crate::policy::RoutePolicy::rebalances_backlog))
+//!    and delivers
+//!    the transit pool to surviving regions — both paid for with the
+//!    transfer latency, both riding the serving carry so request ages
+//!    survive the hop;
+//! 4. serves the epoch in every live region — continuously, full-epoch
+//!    fidelity — with arrivals thinned to the region's weight (a Poisson
+//!    split of a Poisson stream is exact; for the other scenarios it is
+//!    the standard independent-thinning approximation);
+//! 5. checks conservation globally: over each boundary, backlog + transit
+//!    is preserved; over each epoch,
+//!    `Σ carried_in + Σ arrived == Σ served + Σ dropped + Σ carried_out`
+//!    (requests in transit are constant within an epoch). Both residuals
+//!    are journaled and surface in the outcome.
+//!
+//! During a **total blackout** (every region dark) nothing is admitted:
+//! clients cannot reach any frontend, so the epoch's traffic never enters
+//! the system (it is neither served nor counted as dropped), transit
+//! requests age in place, and serving resumes at the first boundary with a
+//! live region.
+
+use crate::fleet::{FleetSpec, RegionalFleet};
+use crate::policy::{make_route_policy, RouteCtx};
+use clover_carbon::{CarbonIntensity, Region};
+use clover_core::anneal::SaParams;
+use clover_core::chaos::ChaosConfig;
+use clover_core::control::{EpochSchedule, SearchBudget};
+use clover_core::schedulers::SchemeKind;
+use clover_core::{Objective, ScalingPolicy};
+use clover_models::zoo::Application;
+use clover_models::{ModelFamily, PerfModel};
+use clover_serving::{analytic, Deployment, ServingSim};
+use clover_simkit::{LatencyHistogram, SimDuration, SimRng};
+use clover_telemetry::{Event, Telemetry, TelemetryReport, TelemetrySpec};
+use clover_workload::{Workload, WorkloadKind};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Salt deriving the per-fleet seed space from the experiment seed. Each
+/// fleet's master seed is an independent substream of this, so region
+/// count and order never re-deal another region's randomness.
+const FLEET_SALT: u64 = 0xF1EE_75A1;
+
+/// Salt for the router's own RNG (the only randomness policies may use).
+const ROUTE_SALT: u64 = 0x0520_F7E1;
+
+/// Full specification of one multi-region serving run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Application under test (served in every region).
+    pub app: Application,
+    /// Scheduling scheme each region runs locally.
+    pub scheme: SchemeKind,
+    /// The fleet's grid regions, in routing order. A region may repeat
+    /// (two data centers on the same grid): each occurrence is its own
+    /// fleet on the same trace.
+    pub regions: Vec<Region>,
+    /// Routing policy name, resolved through the process-wide
+    /// [`crate::RoutePolicyRegistry`].
+    pub policy: String,
+    /// Global traffic scenario.
+    pub workload: WorkloadKind,
+    /// GPUs provisioned per region.
+    pub n_gpus_per_region: usize,
+    /// Scale-down floor for each region's autoscaler.
+    pub min_gpus: usize,
+    /// Autoscaling policy in every region.
+    pub scaling: ScalingPolicy,
+    /// Simulated horizon, hours.
+    pub horizon_hours: f64,
+    /// Objective weight λ.
+    pub lambda: f64,
+    /// Aggregate utilization the global rate is tuned to.
+    pub utilization_target: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// Control-plane cadence, seconds (must divide one hour).
+    pub control_epoch_s: f64,
+    /// SLA headroom multiplier over the measured BASE p95.
+    pub sla_headroom: f64,
+    /// Carbon-monitor re-optimization threshold.
+    pub monitor_threshold: f64,
+    /// Simulated-annealing parameters.
+    pub sa: SaParams,
+    /// How the SA budget relates to the control cadence.
+    pub search_budget: SearchBudget,
+    /// Fault processes; the router consumes
+    /// [`clover_core::chaos::FaultSpec::RegionOutage`] entries (other fault
+    /// kinds are single-cluster concerns and are ignored here).
+    pub chaos: ChaosConfig,
+    /// Extra latency a request pays for an inter-region hop, seconds.
+    pub transfer_latency_s: f64,
+    /// Effective-carbon spread (gCO₂/kWh, after scaling by relative
+    /// energy per request) that must separate two regions before the
+    /// greedy policies move traffic — the migration penalty expressed in
+    /// the objective's currency. Too low and the policies chase noise
+    /// (and epoch-level weight churn thrashes the regional autoscalers);
+    /// 50 is robust across seeds on the paper's three grids.
+    pub penalty_g_per_kwh: f64,
+    /// Utilization ceiling the carbon policies respect when concentrating
+    /// traffic on a clean region.
+    pub max_region_utilization: f64,
+    /// Forecast lookahead for the forecast-aware policy, hours.
+    pub forecast_lookahead_h: f64,
+}
+
+impl RouterConfig {
+    /// Starts a builder with the single-cluster defaults for `app`,
+    /// [`Region::ALL`] as the fleet, and the `uniform` (per-region-local)
+    /// policy.
+    pub fn builder(app: Application) -> RouterConfigBuilder {
+        RouterConfigBuilder {
+            cfg: RouterConfig {
+                app,
+                scheme: SchemeKind::Clover,
+                regions: Region::ALL.to_vec(),
+                policy: "uniform".to_string(),
+                workload: WorkloadKind::Poisson,
+                n_gpus_per_region: 10,
+                min_gpus: 1,
+                scaling: ScalingPolicy::Static,
+                horizon_hours: 48.0,
+                lambda: 0.5,
+                utilization_target: 0.65,
+                seed: 42,
+                control_epoch_s: 3600.0,
+                sla_headroom: 1.05,
+                monitor_threshold: clover_carbon::CarbonMonitor::DEFAULT_THRESHOLD,
+                sa: SaParams::default(),
+                search_budget: SearchBudget::epoch_scaled(),
+                chaos: ChaosConfig::off(),
+                transfer_latency_s: 0.08,
+                penalty_g_per_kwh: 50.0,
+                max_region_utilization: 0.85,
+                forecast_lookahead_h: 3.0,
+            },
+        }
+    }
+}
+
+/// Builder for [`RouterConfig`].
+pub struct RouterConfigBuilder {
+    cfg: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Sets the per-region scheduling scheme.
+    pub fn scheme(mut self, s: SchemeKind) -> Self {
+        self.cfg.scheme = s;
+        self
+    }
+
+    /// Sets the fleet's regions.
+    pub fn regions(mut self, regions: Vec<Region>) -> Self {
+        self.cfg.regions = regions;
+        self
+    }
+
+    /// Sets the routing policy by registry name.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.cfg.policy = name.into();
+        self
+    }
+
+    /// Sets the traffic scenario.
+    pub fn workload(mut self, kind: WorkloadKind) -> Self {
+        self.cfg.workload = kind;
+        self
+    }
+
+    /// Sets GPUs provisioned per region.
+    pub fn n_gpus_per_region(mut self, n: usize) -> Self {
+        self.cfg.n_gpus_per_region = n;
+        self
+    }
+
+    /// Sets the autoscaler floor.
+    pub fn min_gpus(mut self, n: usize) -> Self {
+        self.cfg.min_gpus = n;
+        self
+    }
+
+    /// Sets the autoscaling policy.
+    pub fn scaling(mut self, policy: ScalingPolicy) -> Self {
+        self.cfg.scaling = policy;
+        self
+    }
+
+    /// Sets the horizon in hours.
+    pub fn horizon_hours(mut self, h: f64) -> Self {
+        self.cfg.horizon_hours = h;
+        self
+    }
+
+    /// Sets λ.
+    pub fn lambda(mut self, l: f64) -> Self {
+        self.cfg.lambda = l;
+        self
+    }
+
+    /// Sets the aggregate utilization target.
+    pub fn utilization(mut self, u: f64) -> Self {
+        self.cfg.utilization_target = u;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, s: u64) -> Self {
+        self.cfg.seed = s;
+        self
+    }
+
+    /// Sets the control cadence in seconds.
+    pub fn control_epoch_s(mut self, s: f64) -> Self {
+        self.cfg.control_epoch_s = s;
+        self
+    }
+
+    /// Sets the SLA headroom multiplier.
+    pub fn sla_headroom(mut self, h: f64) -> Self {
+        self.cfg.sla_headroom = h;
+        self
+    }
+
+    /// Sets SA parameters.
+    pub fn sa(mut self, sa: SaParams) -> Self {
+        self.cfg.sa = sa;
+        self
+    }
+
+    /// Sets the search-budget rule.
+    pub fn search_budget(mut self, b: SearchBudget) -> Self {
+        self.cfg.search_budget = b;
+        self
+    }
+
+    /// Sets the fault configuration.
+    pub fn chaos(mut self, chaos: ChaosConfig) -> Self {
+        self.cfg.chaos = chaos;
+        self
+    }
+
+    /// Sets the inter-region transfer latency, seconds.
+    pub fn transfer_latency_s(mut self, s: f64) -> Self {
+        self.cfg.transfer_latency_s = s;
+        self
+    }
+
+    /// Sets the carbon-spread migration threshold, gCO₂/kWh.
+    pub fn penalty_g_per_kwh(mut self, p: f64) -> Self {
+        self.cfg.penalty_g_per_kwh = p;
+        self
+    }
+
+    /// Sets the per-region utilization ceiling for carbon routing.
+    pub fn max_region_utilization(mut self, u: f64) -> Self {
+        self.cfg.max_region_utilization = u;
+        self
+    }
+
+    /// Sets the forecast lookahead, hours.
+    pub fn forecast_lookahead_h(mut self, h: f64) -> Self {
+        self.cfg.forecast_lookahead_h = h;
+        self
+    }
+
+    /// Validates and returns the config.
+    ///
+    /// # Panics
+    /// On an empty region list, out-of-range rates/ceilings, a negative
+    /// or non-finite transfer latency, an invalid chaos config, or a
+    /// `RegionOutage` naming a region index outside the fleet.
+    pub fn build(self) -> RouterConfig {
+        let cfg = self.cfg;
+        assert!(!cfg.regions.is_empty(), "at least one region");
+        assert!(
+            cfg.n_gpus_per_region >= 1
+                && cfg.min_gpus >= 1
+                && cfg.min_gpus <= cfg.n_gpus_per_region,
+            "1 <= min_gpus <= n_gpus_per_region"
+        );
+        assert!(cfg.horizon_hours > 0.0, "positive horizon");
+        assert!(
+            cfg.utilization_target > 0.0 && cfg.utilization_target <= 1.0,
+            "utilization in (0, 1]"
+        );
+        assert!((0.0..=1.0).contains(&cfg.lambda), "lambda in [0, 1]");
+        assert!(cfg.sla_headroom >= 1.0, "SLA headroom >= 1");
+        assert!(
+            cfg.transfer_latency_s.is_finite() && cfg.transfer_latency_s >= 0.0,
+            "finite non-negative transfer latency"
+        );
+        assert!(
+            cfg.penalty_g_per_kwh.is_finite() && cfg.penalty_g_per_kwh >= 0.0,
+            "finite non-negative migration penalty"
+        );
+        assert!(
+            cfg.max_region_utilization > 0.0 && cfg.max_region_utilization <= 1.0,
+            "max region utilization in (0, 1]"
+        );
+        assert!(
+            cfg.forecast_lookahead_h > 0.0 && cfg.forecast_lookahead_h.is_finite(),
+            "positive forecast lookahead"
+        );
+        if let Err(e) = cfg.chaos.validate() {
+            panic!("invalid chaos config: {e}");
+        }
+        for (region, _, _) in cfg.chaos.region_outages() {
+            assert!(
+                region < cfg.regions.len(),
+                "RegionOutage names region {region}, fleet has {}",
+                cfg.regions.len()
+            );
+        }
+        cfg
+    }
+}
+
+/// One control epoch of the global timeline (per-region vectors are in
+/// region order).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RouterEpochPoint {
+    /// Epoch index.
+    pub epoch: u32,
+    /// Simulated time at the epoch's start, hours.
+    pub t_hours: f64,
+    /// Normalized traffic split applied this epoch.
+    pub weights: Vec<f64>,
+    /// Carbon intensity seen per region at the boundary, gCO₂/kWh.
+    pub ci_g_per_kwh: Vec<f64>,
+    /// Active GPUs per region after planning.
+    pub active_gpus: Vec<u32>,
+    /// Which regions were dark this epoch.
+    pub down: Vec<bool>,
+    /// Live-traffic arrivals admitted globally this epoch.
+    pub arrived: u64,
+    /// Requests served globally this epoch.
+    pub served: u64,
+    /// Requests dropped globally this epoch.
+    pub dropped: u64,
+    /// Global backlog carried out of the epoch.
+    pub backlog: u64,
+    /// Requests sitting in inter-region transit during the epoch.
+    pub in_transit: u64,
+    /// Requests migrated at this epoch's boundary (outage drains plus
+    /// backlog rebalancing plus transit deliveries are all counted once,
+    /// at the hop that moved them out of a region).
+    pub migrated: u64,
+}
+
+/// Results of one multi-region run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GlobalOutcome {
+    /// Routing policy name.
+    pub policy: String,
+    /// Per-region scheduling scheme label.
+    pub scheme: String,
+    /// Region display names, in routing order.
+    pub regions: Vec<String>,
+    /// Traffic scenario label.
+    pub workload: String,
+    /// Autoscaling policy label.
+    pub scaling: String,
+    /// Control cadence, seconds.
+    pub control_epoch_s: f64,
+    /// Simulated horizon, hours.
+    pub horizon_hours: f64,
+    /// GPUs provisioned per region.
+    pub n_gpus_per_region: usize,
+    /// Global offered base rate, req/s.
+    pub rate_rps: f64,
+    /// The global SLA (BASE-calibrated p95 bound), seconds.
+    pub sla_p95_s: f64,
+    /// Total operational carbon across all regions, grams.
+    pub total_carbon_g: f64,
+    /// Carbon per region, grams.
+    pub region_carbon_g: Vec<f64>,
+    /// Requests served per region (live traffic).
+    pub region_served: Vec<u64>,
+    /// Mean applied weight per region over the horizon.
+    pub mean_weights: Vec<f64>,
+    /// Request-weighted mean accuracy, percent.
+    pub accuracy_pct: f64,
+    /// Global p95 latency, seconds (NaN when nothing was served).
+    pub p95_s: f64,
+    /// Whether the global p95 met the SLA.
+    pub sla_met: bool,
+    /// Mean IT energy per served request, joules.
+    pub energy_per_request_j: f64,
+    /// Mean carbon per served request, grams.
+    pub carbon_per_request_g: f64,
+    /// Live-traffic arrivals admitted globally.
+    pub arrived: u64,
+    /// Requests served globally (live traffic).
+    pub served: u64,
+    /// Requests dropped globally.
+    pub dropped: u64,
+    /// Backlog still queued or in flight at the horizon.
+    pub final_backlog: u64,
+    /// Requests still in inter-region transit at the horizon.
+    pub final_in_transit: u64,
+    /// Requests that paid an inter-region hop.
+    pub migrated_requests: u64,
+    /// Epoch boundaries at which at least one request migrated.
+    pub migration_boundaries: u64,
+    /// Region-epochs spent dark.
+    pub outage_epochs: u64,
+    /// Mean GPUs active across the whole fleet.
+    pub mean_active_gpus: f64,
+    /// Served requests including scheduler evaluation windows.
+    pub served_scaled: f64,
+    /// Scheduler search time charged, seconds.
+    pub optimization_time_s: f64,
+    /// Discrete events simulated.
+    pub sim_events: u64,
+    /// Total residual of the per-epoch serve-side conservation law
+    /// (`Σ carried_in + Σ arrived - Σ served - Σ dropped - Σ carried_out`).
+    /// Zero unless the bookkeeping itself is broken.
+    pub conservation_leak: i64,
+    /// Total residual of the boundary law (backlog + transit preserved
+    /// across every migration boundary). Zero unless broken.
+    pub boundary_leak: i64,
+    /// Per-epoch global timeline.
+    pub timeline: Vec<RouterEpochPoint>,
+}
+
+impl GlobalOutcome {
+    /// Order-sensitive digest of everything the run measured — the
+    /// serial==parallel determinism check for multi-region runs, same
+    /// FNV-1a idiom as the single-cluster outcome digest.
+    pub fn digest(&self) -> u64 {
+        let mut h = 0xCBF2_9CE4_8422_2325u64;
+        let mut eat = |bits: u64| {
+            h ^= bits;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        };
+        for s in [&self.policy, &self.scheme, &self.workload] {
+            for b in s.as_bytes() {
+                eat(u64::from(*b));
+            }
+        }
+        eat(self.regions.len() as u64);
+        for v in [
+            self.rate_rps,
+            self.sla_p95_s,
+            self.total_carbon_g,
+            self.accuracy_pct,
+            self.p95_s,
+            self.energy_per_request_j,
+            self.carbon_per_request_g,
+            self.optimization_time_s,
+            self.served_scaled,
+            self.mean_active_gpus,
+        ] {
+            eat(v.to_bits());
+        }
+        for v in &self.region_carbon_g {
+            eat(v.to_bits());
+        }
+        for v in &self.region_served {
+            eat(*v);
+        }
+        for v in &self.mean_weights {
+            eat(v.to_bits());
+        }
+        for v in [
+            self.arrived,
+            self.served,
+            self.dropped,
+            self.final_backlog,
+            self.final_in_transit,
+            self.migrated_requests,
+            self.migration_boundaries,
+            self.outage_epochs,
+            self.sim_events,
+        ] {
+            eat(v);
+        }
+        eat(self.conservation_leak as u64);
+        eat(self.boundary_leak as u64);
+        for p in &self.timeline {
+            eat(u64::from(p.epoch));
+            for w in &p.weights {
+                eat(w.to_bits());
+            }
+            for ci in &p.ci_g_per_kwh {
+                eat(ci.to_bits());
+            }
+            for g in &p.active_gpus {
+                eat(u64::from(*g));
+            }
+            for d in &p.down {
+                eat(u64::from(*d));
+            }
+            eat(p.arrived);
+            eat(p.served);
+            eat(p.dropped);
+            eat(p.backlog);
+            eat(p.in_transit);
+            eat(p.migrated);
+        }
+        h
+    }
+}
+
+/// The multi-region experiment runtime (see the module docs for the
+/// per-epoch protocol).
+pub struct GlobalRouter {
+    cfg: RouterConfig,
+    family: Arc<ModelFamily>,
+    perf: PerfModel,
+    /// Global offered base rate, req/s.
+    pub rate_rps: f64,
+    /// Serving capacity one BASE GPU contributes, req/s.
+    pub capacity_per_gpu_rps: f64,
+    /// The global traffic scenario bound to the derived rate.
+    pub workload: Workload,
+    /// The derived objective (λ, C_base, A_base, SLA) — shared by every
+    /// region, because the SLA is a property of the service, not of where
+    /// a request happens to be served.
+    pub objective: Objective,
+    /// Measured BASE energy per request at calibration, joules.
+    pub base_energy_per_request_j: f64,
+}
+
+impl GlobalRouter {
+    /// Derives the global workload, SLA and objective for `cfg`.
+    ///
+    /// Calibration mirrors the single-cluster runtime: one BASE reference
+    /// deployment of `n_gpus_per_region` GPUs is measured at its regional
+    /// share of the global rate (seed-salted identically), its p95 sets
+    /// the SLA, and `C_base` is taken at the fleet-mean carbon intensity
+    /// across the configured regions.
+    pub fn new(cfg: RouterConfig) -> Self {
+        let family = Arc::new(cfg.app.family());
+        let perf = PerfModel::a100();
+        let n = cfg.regions.len() as f64;
+
+        let base_ref = Deployment::base(&family, cfg.n_gpus_per_region);
+        let capacity = analytic::estimate(family.as_ref(), &perf, &base_ref, 1.0).capacity_rps;
+        let capacity_per_gpu_rps = capacity / cfg.n_gpus_per_region as f64;
+        let rate_rps = capacity * n * cfg.utilization_target;
+        let workload = Workload::new(cfg.workload.clone(), rate_rps);
+
+        let mut calib = ServingSim::new(family.clone(), perf, base_ref, cfg.seed ^ 0xCA11_B007);
+        let w = calib.run_window(
+            rate_rps / n,
+            SimDuration::from_secs(160.0),
+            SimDuration::from_secs(16.0),
+        );
+        let base_energy = w.energy_per_request_j().expect("calibration served");
+        let base_p95 = w.p95_latency_s.expect("calibration served");
+        let sla = base_p95 * cfg.sla_headroom;
+
+        let hours = (cfg.horizon_hours.ceil() as usize).max(48);
+        let ci_ref = cfg
+            .regions
+            .iter()
+            .map(|r| r.trace(hours, cfg.seed).mean().g_per_kwh())
+            .sum::<f64>()
+            / n;
+        let c_base =
+            Objective::carbon_per_request_g(base_energy, CarbonIntensity::from_g_per_kwh(ci_ref));
+        let objective = Objective::new(family.accuracy_base(), c_base, sla).with_lambda(cfg.lambda);
+
+        GlobalRouter {
+            cfg,
+            family,
+            perf,
+            rate_rps,
+            capacity_per_gpu_rps,
+            workload,
+            objective,
+            base_energy_per_request_j: base_energy,
+        }
+    }
+
+    /// The configuration this run executes.
+    pub fn config(&self) -> &RouterConfig {
+        &self.cfg
+    }
+
+    /// Runs one cell per config on `threads` workers, outcomes in input
+    /// order. Every cell derives all randomness from its own seed, so the
+    /// parallel grid is byte-identical to the serial run.
+    pub fn run_cells(configs: Vec<RouterConfig>, threads: usize) -> Vec<GlobalOutcome> {
+        clover_simkit::par_map(configs, threads, |cfg| GlobalRouter::new(cfg).run())
+    }
+
+    /// [`GlobalRouter::run_cells`] with telemetry, one report per cell.
+    pub fn run_cells_with(
+        configs: Vec<RouterConfig>,
+        threads: usize,
+        spec: TelemetrySpec,
+    ) -> Vec<(GlobalOutcome, TelemetryReport)> {
+        clover_simkit::par_map(configs, threads, move |cfg| {
+            let mut telemetry = Telemetry::new(spec);
+            let out = GlobalRouter::new(cfg).run_with(&mut telemetry);
+            (out, telemetry.take_report())
+        })
+    }
+
+    /// Runs the multi-region experiment without telemetry.
+    pub fn run(&self) -> GlobalOutcome {
+        self.run_with(&mut Telemetry::disabled())
+    }
+
+    /// Runs the multi-region experiment with a telemetry sink. Emits one
+    /// `route` and one `conservation` event per epoch, `region_outage` /
+    /// `region_restore` on transitions, and maintains `clover_route_*`
+    /// metrics; telemetry is a strict overlay (the no-op sink gives
+    /// [`GlobalRouter::run`], bit for bit).
+    pub fn run_with(&self, telemetry: &mut Telemetry) -> GlobalOutcome {
+        let cfg = &self.cfg;
+        let n = cfg.regions.len();
+        let schedule = EpochSchedule::new(cfg.horizon_hours, cfg.control_epoch_s);
+        let epoch_len = schedule.epoch_len();
+        let epoch_s = epoch_len.as_secs();
+        let sa = cfg.search_budget.apply(cfg.sa, cfg.control_epoch_s);
+
+        let mut policy = make_route_policy(&cfg.policy);
+        let mut route_rng = SimRng::new(cfg.seed ^ ROUTE_SALT);
+        let seeder = SimRng::new(cfg.seed ^ FLEET_SALT);
+        let mut fleets: Vec<RegionalFleet> = cfg
+            .regions
+            .iter()
+            .enumerate()
+            .map(|(i, &region)| {
+                let seed = seeder.substream(i as u64).next_u64();
+                RegionalFleet::new(FleetSpec {
+                    region,
+                    index: i,
+                    seed,
+                    trace_seed: cfg.seed,
+                    family: &self.family,
+                    perf: self.perf,
+                    scheme: &cfg.scheme,
+                    workload: cfg.workload.clone(),
+                    global_rate_rps: self.rate_rps,
+                    n_gpus: cfg.n_gpus_per_region,
+                    min_gpus: cfg.min_gpus,
+                    scaling: cfg.scaling,
+                    capacity_per_gpu_rps: self.capacity_per_gpu_rps,
+                    utilization_target: cfg.utilization_target,
+                    monitor_threshold: cfg.monitor_threshold,
+                    sa,
+                    horizon_hours: cfg.horizon_hours,
+                })
+            })
+            .collect();
+        for f in &mut fleets {
+            f.set_profiler(telemetry);
+        }
+        // Region outages, as (region, start_s, end_s), already validated.
+        let outages = cfg.chaos.region_outages();
+
+        // Requests mid-hop between regions, as ages (transfer latency
+        // already added). Constant within an epoch; delivered or aged at
+        // boundaries.
+        let mut transit: Vec<f64> = Vec::new();
+        let mut prev_weights = vec![0.0f64; n];
+        let mut weight_sums = vec![0.0f64; n];
+        let mut arrived = 0u64;
+        let mut served = 0u64;
+        let mut dropped = 0u64;
+        let mut migrated_requests = 0u64;
+        let mut migration_boundaries = 0u64;
+        let mut outage_epochs = 0u64;
+        let mut conservation_leak = 0i64;
+        let mut boundary_leak = 0i64;
+        let mut timeline = Vec::with_capacity(schedule.count() as usize);
+
+        for epoch in schedule.iter() {
+            let t = epoch.start;
+            let t_s = t.as_secs();
+            let end_s = t_s + epoch_s;
+            let before: u64 =
+                fleets.iter().map(|f| f.backlog()).sum::<u64>() + transit.len() as u64;
+            let mut migrated_now = 0u64;
+
+            // Outage transitions. An epoch is dark when any outage window
+            // overlaps it — an outage covers every epoch it touches.
+            for (i, fleet) in fleets.iter_mut().enumerate() {
+                let down_now = outages
+                    .iter()
+                    .any(|&(r, start, end)| r == i && start < end_s && end > t_s);
+                if down_now && !fleet.is_down() {
+                    let ages = fleet.go_dark(cfg.transfer_latency_s);
+                    migrated_now += ages.len() as u64;
+                    if telemetry.journal_mut().is_some() {
+                        telemetry.emit(
+                            Event::new("region_outage", t)
+                                .u64("region", i as u64)
+                                .u64("epoch", u64::from(epoch.index))
+                                .u64("drained", ages.len() as u64),
+                        );
+                    }
+                    if let Some(m) = telemetry.metrics_mut() {
+                        m.counter_add(
+                            "clover_route_region_outages_total",
+                            &[("policy", cfg.policy.as_str())],
+                            1,
+                        );
+                    }
+                    transit.extend(ages);
+                } else if !down_now && fleet.is_down() {
+                    fleet.restore();
+                    if telemetry.journal_mut().is_some() {
+                        telemetry.emit(
+                            Event::new("region_restore", t)
+                                .u64("region", i as u64)
+                                .u64("epoch", u64::from(epoch.index)),
+                        );
+                    }
+                }
+            }
+            let up: Vec<bool> = fleets.iter().map(|f| !f.is_down()).collect();
+            let n_up = up.iter().filter(|&&u| u).count();
+
+            // The policy's view and decision.
+            let snapshots: Vec<_> = fleets
+                .iter()
+                .enumerate()
+                .map(|(i, f)| f.snapshot(t, cfg.forecast_lookahead_h, prev_weights[i]))
+                .collect();
+            let raw = policy.weights(&mut RouteCtx {
+                epoch: &epoch,
+                regions: &snapshots,
+                demand_rps: self.workload.peak_over(t, epoch_len),
+                demand_peak_rps: self
+                    .workload
+                    .peak_over(t, SimDuration::from_hours(cfg.forecast_lookahead_h)),
+                transfer_latency_s: cfg.transfer_latency_s,
+                max_region_utilization: cfg.max_region_utilization,
+                penalty_g_per_kwh: cfg.penalty_g_per_kwh,
+                rng: &mut route_rng,
+            });
+            assert_eq!(raw.len(), n, "policy returned one weight per region");
+            let weights = normalize_weights(&raw, &up);
+
+            // Backlog rebalancing (carbon-aware policies only): move
+            // queued work toward the new split when a region's queue is
+            // far over its share, paying the transfer latency per request.
+            // In-flight work never moves — restarting it elsewhere would
+            // waste the service time already invested.
+            if policy.rebalances_backlog() && n_up > 1 {
+                migrated_now +=
+                    rebalance_backlog(&mut fleets, &up, &weights, cfg.transfer_latency_s);
+            }
+
+            // Transit delivery: surviving regions absorb the pool in
+            // proportion to their weights (largest-remainder, oldest
+            // first); with everyone dark the pool just ages in place.
+            if n_up > 0 && !transit.is_empty() {
+                let pool = std::mem::take(&mut transit);
+                deliver_transit(&mut fleets, &up, &weights, pool);
+            } else if n_up == 0 {
+                for a in &mut transit {
+                    *a += epoch_s;
+                }
+            }
+
+            let after: u64 = fleets.iter().map(|f| f.backlog()).sum::<u64>() + transit.len() as u64;
+            boundary_leak += after as i64 - before as i64;
+            if migrated_now > 0 {
+                migration_boundaries += 1;
+                migrated_requests += migrated_now;
+            }
+
+            // Serve the epoch in every live region. Dark regions are
+            // skipped entirely: boards draw nothing, the scaler freezes.
+            // With *every* region dark nothing is admitted at all — the
+            // service is unreachable, so the epoch's traffic never enters
+            // the system (not counted as drops).
+            let carried_in: u64 = fleets.iter().map(|f| f.backlog()).sum();
+            let mut e_arrived = 0u64;
+            let mut e_served = 0u64;
+            let mut e_dropped = 0u64;
+            for (i, fleet) in fleets.iter_mut().enumerate() {
+                if up[i] {
+                    let w = fleet.serve_epoch(
+                        &epoch,
+                        epoch_len,
+                        weights[i],
+                        &self.objective,
+                        telemetry,
+                    );
+                    e_arrived += w.arrived;
+                    e_served += w.served;
+                    e_dropped += w.dropped;
+                    conservation_leak += w.conservation_leak;
+                } else {
+                    outage_epochs += 1;
+                }
+            }
+            let backlog_after: u64 = fleets.iter().map(|f| f.backlog()).sum();
+            // The global serve law; transit is constant within the epoch
+            // so it cancels out of the balance.
+            let leak =
+                (carried_in + e_arrived) as i64 - (e_served + e_dropped + backlog_after) as i64;
+            conservation_leak += leak;
+            arrived += e_arrived;
+            served += e_served;
+            dropped += e_dropped;
+            for (acc, w) in weight_sums.iter_mut().zip(weights.iter()) {
+                *acc += w;
+            }
+
+            if telemetry.journal_mut().is_some() {
+                // f64 Display is shortest-roundtrip, so the joined vector
+                // is as deterministic as the weights themselves.
+                let weights_s = weights
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                telemetry.emit(
+                    Event::new("route", t)
+                        .u64("epoch", u64::from(epoch.index))
+                        .str("policy", policy.name().to_string())
+                        .str("weights", weights_s)
+                        .u64("in_transit", transit.len() as u64)
+                        .u64("migrated", migrated_now)
+                        .u64("down", (n - n_up) as u64),
+                );
+                telemetry.emit(
+                    Event::new("conservation", t)
+                        .u64("epoch", u64::from(epoch.index))
+                        .u64("arrived", e_arrived)
+                        .u64("served", e_served)
+                        .u64("dropped", e_dropped)
+                        .u64("backlog", backlog_after)
+                        .u64("in_transit", transit.len() as u64)
+                        .f64("leak", leak as f64),
+                );
+            }
+            if let Some(m) = telemetry.metrics_mut() {
+                let labels: &[(&str, &str)] = &[("policy", cfg.policy.as_str())];
+                m.counter_add("clover_route_epochs_total", labels, 1);
+                if migrated_now > 0 {
+                    m.counter_add("clover_route_migrated_requests_total", labels, migrated_now);
+                }
+                m.gauge_set("clover_route_in_transit", labels, transit.len() as f64);
+                for (i, w) in weights.iter().enumerate() {
+                    let region = snapshots[i].label.clone();
+                    m.gauge_set(
+                        "clover_route_weight",
+                        &[("policy", cfg.policy.as_str()), ("region", region.as_str())],
+                        *w,
+                    );
+                }
+            }
+
+            timeline.push(RouterEpochPoint {
+                epoch: epoch.index,
+                t_hours: epoch.start_hours(),
+                weights: weights.clone(),
+                ci_g_per_kwh: snapshots.iter().map(|s| s.ci_now_g_per_kwh).collect(),
+                active_gpus: fleets.iter().map(|f| f.active_gpus() as u32).collect(),
+                down: up.iter().map(|&u| !u).collect(),
+                arrived: e_arrived,
+                served: e_served,
+                dropped: e_dropped,
+                backlog: backlog_after,
+                in_transit: transit.len() as u64,
+                migrated: migrated_now,
+            });
+            prev_weights = weights;
+        }
+
+        // Global roll-up across the regional ledgers and histograms.
+        let epochs = schedule.count().max(1) as f64;
+        let total_carbon_g: f64 = fleets.iter().map(|f| f.carbon_g()).sum();
+        let it_energy_j: f64 = fleets.iter().map(|f| f.it_energy_j()).sum();
+        let served_scaled: f64 = fleets.iter().map(|f| f.served_scaled()).sum();
+        let mut hist = LatencyHistogram::for_latency();
+        let mut per_variant = vec![0.0f64; self.family.len()];
+        for f in &fleets {
+            hist.merge(f.hist());
+            for (acc, v) in per_variant.iter_mut().zip(f.per_variant().iter()) {
+                *acc += v;
+            }
+        }
+        let accuracy_pct = {
+            let total: f64 = per_variant.iter().sum();
+            if total == 0.0 {
+                self.family.accuracy_base()
+            } else {
+                per_variant
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &c)| self.family.variants[i].accuracy_pct * c)
+                    .sum::<f64>()
+                    / total
+            }
+        };
+        let p95_s = hist.quantile(0.95).unwrap_or(f64::NAN);
+
+        GlobalOutcome {
+            policy: cfg.policy.clone(),
+            scheme: cfg.scheme.label().to_string(),
+            regions: cfg.regions.iter().map(|r| r.to_string()).collect(),
+            workload: self.workload.label().to_string(),
+            scaling: cfg.scaling.label().to_string(),
+            control_epoch_s: cfg.control_epoch_s,
+            horizon_hours: cfg.horizon_hours,
+            n_gpus_per_region: cfg.n_gpus_per_region,
+            rate_rps: self.rate_rps,
+            sla_p95_s: self.objective.l_tail_s,
+            total_carbon_g,
+            region_carbon_g: fleets.iter().map(|f| f.carbon_g()).collect(),
+            region_served: fleets.iter().map(|f| f.served()).collect(),
+            mean_weights: weight_sums.iter().map(|s| s / epochs).collect(),
+            accuracy_pct,
+            p95_s,
+            sla_met: p95_s <= self.objective.l_tail_s,
+            energy_per_request_j: if served_scaled > 0.0 {
+                it_energy_j / served_scaled
+            } else {
+                f64::NAN
+            },
+            carbon_per_request_g: if served_scaled > 0.0 {
+                total_carbon_g / served_scaled
+            } else {
+                f64::NAN
+            },
+            arrived,
+            served,
+            dropped,
+            final_backlog: fleets.iter().map(|f| f.backlog()).sum(),
+            final_in_transit: transit.len() as u64,
+            migrated_requests,
+            migration_boundaries,
+            outage_epochs,
+            mean_active_gpus: fleets.iter().map(|f| f.active_gpu_hours()).sum::<f64>()
+                / (epochs * schedule.epoch_hours()),
+            served_scaled,
+            optimization_time_s: fleets.iter().map(|f| f.optimization_time_s()).sum(),
+            sim_events: fleets.iter().map(|f| f.sim_events()).sum(),
+            conservation_leak,
+            boundary_leak,
+            timeline,
+        }
+    }
+}
+
+/// Masks `raw` to live regions, clamps negatives and non-finite entries to
+/// zero, and normalizes to sum 1. All-zero over live regions falls back to
+/// a uniform split over them; with no live region everything is zero.
+fn normalize_weights(raw: &[f64], up: &[bool]) -> Vec<f64> {
+    let mut w: Vec<f64> = raw
+        .iter()
+        .zip(up.iter())
+        .map(|(&v, &u)| {
+            if u && v.is_finite() && v > 0.0 {
+                v
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let sum: f64 = w.iter().sum();
+    if sum > 0.0 {
+        for v in &mut w {
+            *v /= sum;
+        }
+    } else {
+        let n_up = up.iter().filter(|&&u| u).count();
+        if n_up > 0 {
+            for (v, &u) in w.iter_mut().zip(up.iter()) {
+                *v = if u { 1.0 / n_up as f64 } else { 0.0 };
+            }
+        }
+    }
+    w
+}
+
+/// Moves queued backlog from regions far over their weighted share to
+/// regions under it, newest requests first (the oldest keep their place in
+/// their home queue), each migrant aged by the transfer latency. A
+/// hysteresis slack keeps small imbalances from thrashing back and forth
+/// every epoch. Returns the number of requests moved.
+fn rebalance_backlog(
+    fleets: &mut [RegionalFleet],
+    up: &[bool],
+    weights: &[f64],
+    transfer_latency_s: f64,
+) -> u64 {
+    let n_up = up.iter().filter(|&&u| u).count();
+    let total_queued: u64 = fleets
+        .iter()
+        .zip(up.iter())
+        .filter(|(_, &u)| u)
+        .map(|(f, _)| f.queued() as u64)
+        .sum();
+    if total_queued == 0 {
+        return 0;
+    }
+    let slack = 32u64.max(total_queued / (4 * n_up as u64));
+    let mut pool: Vec<f64> = Vec::new();
+    let mut deficits: Vec<(usize, u64)> = Vec::new();
+    for (i, fleet) in fleets.iter_mut().enumerate() {
+        if !up[i] {
+            continue;
+        }
+        let queued = fleet.queued() as u64;
+        let target = weights[i] * total_queued as f64;
+        if (queued as f64) > target + slack as f64 {
+            let excess = queued - target.ceil() as u64;
+            let mut taken = fleet.carry_mut().take_queued_newest(excess as usize);
+            for a in &mut taken {
+                *a += transfer_latency_s;
+            }
+            pool.extend(taken);
+        } else if (queued as f64) < target.floor() {
+            deficits.push((i, target.floor() as u64 - queued));
+        }
+    }
+    if pool.is_empty() {
+        return 0;
+    }
+    let moved = pool.len() as u64;
+    // Largest deficit first (ties to the lower region index), each
+    // receiver absorbing up to its deficit; any tail the deficits cannot
+    // place goes back where the ordering put it last — the first live
+    // region — so nothing is lost.
+    deficits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    // Oldest first, so receivers absorb the most urgent work.
+    pool.sort_by(|a, b| b.partial_cmp(a).expect("finite request ages"));
+    let mut cursor = 0usize;
+    for (i, deficit) in deficits {
+        if cursor >= pool.len() {
+            break;
+        }
+        let take = (deficit as usize).min(pool.len() - cursor);
+        fleets[i]
+            .carry_mut()
+            .absorb_queued(&pool[cursor..cursor + take]);
+        cursor += take;
+    }
+    if cursor < pool.len() {
+        let first_up = up.iter().position(|&u| u).expect("n_up > 1");
+        fleets[first_up].carry_mut().absorb_queued(&pool[cursor..]);
+    }
+    moved
+}
+
+/// Deals the transit pool to live regions in proportion to their weights
+/// (largest-remainder apportionment, remainder ties to the lower index),
+/// oldest requests first.
+fn deliver_transit(fleets: &mut [RegionalFleet], up: &[bool], weights: &[f64], mut pool: Vec<f64>) {
+    pool.sort_by(|a, b| b.partial_cmp(a).expect("finite request ages"));
+    let total = pool.len();
+    let mut counts: Vec<usize> = weights
+        .iter()
+        .zip(up.iter())
+        .map(|(&w, &u)| {
+            if u {
+                (w * total as f64).floor() as usize
+            } else {
+                0
+            }
+        })
+        .collect();
+    let assigned: usize = counts.iter().sum();
+    let mut rema: Vec<(usize, f64)> = weights
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| up[i])
+        .map(|(i, &w)| (i, w * total as f64 - (w * total as f64).floor()))
+        .collect();
+    rema.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .expect("finite remainders")
+            .then(a.0.cmp(&b.0))
+    });
+    let mut leftover = total - assigned;
+    for (i, _) in rema {
+        if leftover == 0 {
+            break;
+        }
+        counts[i] += 1;
+        leftover -= 1;
+    }
+    let mut cursor = 0usize;
+    for (i, count) in counts.iter().enumerate() {
+        if *count == 0 {
+            continue;
+        }
+        fleets[i]
+            .carry_mut()
+            .absorb_queued(&pool[cursor..cursor + count]);
+        cursor += count;
+    }
+    debug_assert_eq!(cursor, total);
+}

@@ -1,0 +1,592 @@
+//! Routing policies: how the [`crate::GlobalRouter`] splits live traffic
+//! across regions each control epoch.
+//!
+//! A policy sees one [`RegionSnapshot`] per region — carbon view, queue
+//! depths, live capacity — and returns a raw weight per region. The router
+//! masks regions that are dark, clamps negatives, and normalizes, so a
+//! policy is free to return unnormalized scores (or even all zeros, which
+//! falls back to a uniform split over the surviving regions).
+//!
+//! Policies resolve by name through a process-wide [`RoutePolicyRegistry`]
+//! mirroring `clover-core`'s scheduler registry: the five builtins register
+//! on first use and custom policies bolt on with
+//! [`register_route_policy`] in a few lines.
+
+use clover_core::ControlEpoch;
+use clover_simkit::SimRng;
+use std::fmt;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// What a [`RoutePolicy`] sees of one region at an epoch boundary.
+#[derive(Debug, Clone)]
+pub struct RegionSnapshot {
+    /// Position in the router's region list (the weight vector's index).
+    pub index: usize,
+    /// Region display name.
+    pub label: String,
+    /// False while the region is inside a
+    /// [`clover_core::chaos::FaultSpec::RegionOutage`] window — the router
+    /// forces a dark region's weight to zero whatever the policy returns.
+    pub up: bool,
+    /// Carbon intensity in force now, gCO₂/kWh (the region's
+    /// [`clover_carbon::CarbonMonitor`] view).
+    pub ci_now_g_per_kwh: f64,
+    /// Mean forecast intensity over the router's lookahead window,
+    /// gCO₂/kWh (hourly samples of the same monitor).
+    pub ci_forecast_g_per_kwh: f64,
+    /// Requests waiting in the region's boundary carry.
+    pub queued: u64,
+    /// Requests mid-service in the region's boundary carry.
+    pub in_flight: u64,
+    /// GPUs actively serving in the region.
+    pub active_gpus: usize,
+    /// Serving capacity of the active fleet at full utilization, req/s.
+    pub capacity_rps: f64,
+    /// Observed IT energy per served request last epoch, joules (0 until
+    /// the region has served). Carbon-aware policies relativize grid
+    /// intensity by it: what matters is what a request *costs* here.
+    pub energy_per_request_j: f64,
+    /// The weight this region carried last epoch (0 on the first).
+    pub prev_weight: f64,
+}
+
+impl RegionSnapshot {
+    /// Queued plus in-flight — the backlog the region drags into the epoch.
+    pub fn backlog(&self) -> u64 {
+        self.queued + self.in_flight
+    }
+}
+
+/// Everything a policy may condition its split on for one epoch.
+pub struct RouteCtx<'a> {
+    /// The control epoch being opened.
+    pub epoch: &'a ControlEpoch,
+    /// One snapshot per region, in region order.
+    pub regions: &'a [RegionSnapshot],
+    /// Global demand forecast peak over this epoch, req/s.
+    pub demand_rps: f64,
+    /// Global demand forecast peak over the lookahead window, req/s.
+    pub demand_peak_rps: f64,
+    /// Extra latency a request pays for an inter-region hop, seconds.
+    pub transfer_latency_s: f64,
+    /// Utilization ceiling the carbon policies respect when concentrating
+    /// traffic on a clean region, fraction of regional capacity.
+    pub max_region_utilization: f64,
+    /// Carbon spread (gCO₂/kWh) that must separate two regions before the
+    /// greedy policies route traffic away from home — the latency penalty
+    /// expressed in the objective's own currency.
+    pub penalty_g_per_kwh: f64,
+    /// The router's own RNG substream (isolated from every fleet's).
+    pub rng: &'a mut SimRng,
+}
+
+/// A traffic-split policy. Stateful implementations are fine — one policy
+/// instance drives one run, and all its randomness must come from
+/// [`RouteCtx::rng`] so runs stay byte-identical between serial and
+/// parallel grid execution.
+pub trait RoutePolicy: Send {
+    /// Registry name of the policy.
+    fn name(&self) -> &str;
+
+    /// Whether the policy reads carbon signals (the study's axis).
+    fn carbon_aware(&self) -> bool {
+        false
+    }
+
+    /// Whether the router should also *migrate queued backlog* toward this
+    /// policy's weights at epoch boundaries (spatial arbitrage on work
+    /// already admitted, paying the transfer latency per request). The
+    /// baselines keep queues local.
+    fn rebalances_backlog(&self) -> bool {
+        false
+    }
+
+    /// Raw, non-negative weight per region for this epoch. The router
+    /// masks dark regions, clamps, and normalizes; all-zero falls back to
+    /// uniform over the surviving regions.
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64>;
+}
+
+/// Static equal split — every region serves its origin share and nothing
+/// moves. With healthy regions this *is* per-region-local scheduling, the
+/// baseline the carbon-aware policies are measured against.
+struct UniformPolicy;
+
+impl RoutePolicy for UniformPolicy {
+    fn name(&self) -> &str {
+        "uniform"
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        vec![1.0; ctx.regions.len()]
+    }
+}
+
+/// Random proportions each epoch, drawn from the router's RNG substream.
+struct RandomPolicy;
+
+impl RoutePolicy for RandomPolicy {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        // One draw per region, dark ones included: the stream is a fixed
+        // function of the epoch index, so an outage elsewhere in the run
+        // cannot re-deal every later epoch's split.
+        (0..ctx.regions.len()).map(|_| ctx.rng.f64()).collect()
+    }
+}
+
+/// All traffic to one region, rotating per epoch over the live ones.
+struct RoundRobinPolicy;
+
+impl RoutePolicy for RoundRobinPolicy {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        let up: Vec<usize> = ctx
+            .regions
+            .iter()
+            .filter(|r| r.up)
+            .map(|r| r.index)
+            .collect();
+        let mut w = vec![0.0; ctx.regions.len()];
+        if !up.is_empty() {
+            w[up[ctx.epoch.index as usize % up.len()]] = 1.0;
+        }
+        w
+    }
+}
+
+/// Join-the-shortest-queue at epoch granularity: weight proportional to
+/// live capacity discounted by the backlog already waiting there.
+struct SmallestQueuePolicy;
+
+impl RoutePolicy for SmallestQueuePolicy {
+    fn name(&self) -> &str {
+        "smallest-queue"
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        ctx.regions
+            .iter()
+            .map(|r| r.capacity_rps / (1.0 + r.backlog() as f64))
+            .collect()
+    }
+}
+
+/// Latency-penalized carbon greedy: start from the uniform (origin) split,
+/// then move share from dirty regions to clean ones — but only when the
+/// carbon spread beats [`RouteCtx::penalty_g_per_kwh`] (the inter-region
+/// hop is not free), and never past a clean region's utilization ceiling.
+///
+/// With `use_forecast` the decision runs on the lookahead-mean intensity
+/// and sizes the capacity ceiling against the lookahead demand *peak*
+/// ([`clover_workload::DemandForecast::peak_over`]) — follow-the-sun that
+/// will not chase a dip about to end into a region about to brown out.
+struct GreedyCarbonPolicy {
+    name: &'static str,
+    use_forecast: bool,
+}
+
+/// Fraction of the gap to the greedy target closed per epoch. Jumping
+/// straight to the target every epoch thrashes the regional autoscalers,
+/// and the energy cost of that churn can exceed the carbon spread being
+/// chased; half-stepping keeps the split following the grids' diurnal
+/// phase at control-epoch timescales while filtering epoch-to-epoch noise.
+const DAMPING: f64 = 0.5;
+
+impl RoutePolicy for GreedyCarbonPolicy {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn carbon_aware(&self) -> bool {
+        true
+    }
+
+    fn rebalances_backlog(&self) -> bool {
+        true
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        let n = ctx.regions.len();
+        let up: Vec<usize> = ctx
+            .regions
+            .iter()
+            .filter(|r| r.up)
+            .map(|r| r.index)
+            .collect();
+        let mut w = vec![0.0; n];
+        if up.is_empty() {
+            return w;
+        }
+        for &i in &up {
+            w[i] = 1.0 / up.len() as f64;
+        }
+        let demand = if self.use_forecast {
+            ctx.demand_peak_rps
+        } else {
+            ctx.demand_rps
+        };
+        // Effective intensity: grid g/kWh scaled by the region's observed
+        // energy per request relative to the live-fleet mean. A clean grid
+        // whose local scheduler answers the clean air with the big, hungry
+        // variants is less attractive than its intensity alone suggests —
+        // routing on raw intensity chases grams/kWh, serving pays
+        // grams/request. Regions with no observation yet (epoch one) sit
+        // at the mean (scale one).
+        let observed: Vec<f64> = up
+            .iter()
+            .map(|&i| ctx.regions[i].energy_per_request_j)
+            .filter(|&e| e > 0.0)
+            .collect();
+        let e_mean = observed.iter().sum::<f64>() / observed.len().max(1) as f64;
+        let ci = |i: usize| -> f64 {
+            let r = &ctx.regions[i];
+            let raw = if self.use_forecast {
+                r.ci_forecast_g_per_kwh
+            } else {
+                r.ci_now_g_per_kwh
+            };
+            if r.energy_per_request_j > 0.0 && e_mean > 0.0 {
+                raw * r.energy_per_request_j / e_mean
+            } else {
+                raw
+            }
+        };
+        // Share of global demand a region can absorb before crossing the
+        // utilization ceiling (unbounded when demand forecasts zero).
+        let cap_share = |i: usize| -> f64 {
+            if demand > 0.0 {
+                ctx.max_region_utilization * ctx.regions[i].capacity_rps / demand
+            } else {
+                1.0
+            }
+        };
+        // Cleanest-first receivers fed by dirtiest-first donors; ties
+        // break on region index, so the transfer order is deterministic.
+        let mut order = up.clone();
+        order.sort_by(|&a, &b| {
+            ci(a)
+                .partial_cmp(&ci(b))
+                .expect("finite carbon intensities")
+                .then(a.cmp(&b))
+        });
+        for (ri, &recv) in order.iter().enumerate() {
+            for &donor in order[ri + 1..].iter().rev() {
+                if ci(donor) - ci(recv) <= ctx.penalty_g_per_kwh {
+                    // Donors only get cleaner from here: stop this receiver.
+                    break;
+                }
+                let headroom = cap_share(recv) - w[recv];
+                if headroom <= 0.0 {
+                    break;
+                }
+                let delta = w[donor].min(headroom);
+                w[donor] -= delta;
+                w[recv] += delta;
+            }
+        }
+        // Damp the move: blend half-way from the split actually served
+        // last epoch toward the greedy target. Both the normalized
+        // history and the target sum to one over live regions, so the
+        // blend does too. No history (first epoch, or every live region
+        // fresh from an outage) means no damping.
+        let prev_up: f64 = up.iter().map(|&i| ctx.regions[i].prev_weight).sum();
+        if prev_up > 0.0 {
+            for &i in &up {
+                let prev = ctx.regions[i].prev_weight / prev_up;
+                w[i] = prev + DAMPING * (w[i] - prev);
+            }
+        }
+        w
+    }
+}
+
+type PolicyFactory = dyn Fn() -> Box<dyn RoutePolicy> + Send + Sync;
+
+/// Error: resolving a name no policy is registered under.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownPolicy {
+    /// The unresolvable name.
+    pub name: String,
+    /// Every name that would have resolved.
+    pub known: Vec<String>,
+}
+
+impl fmt::Display for UnknownPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown route policy {:?}; registered: {}",
+            self.name,
+            self.known.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownPolicy {}
+
+/// Error: registering a name that is already taken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DuplicatePolicy(pub String);
+
+impl fmt::Display for DuplicatePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "route policy {:?} is already registered", self.0)
+    }
+}
+
+impl std::error::Error for DuplicatePolicy {}
+
+/// Name-keyed policy registry (lookup is case-sensitive; builtins use
+/// their study labels, e.g. `"carbon-greedy"`).
+#[derive(Default)]
+pub struct RoutePolicyRegistry {
+    entries: Vec<(String, Arc<PolicyFactory>)>,
+}
+
+impl RoutePolicyRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the study's policies: `uniform`,
+    /// `random`, `round-robin`, `smallest-queue` (baselines), plus
+    /// `carbon-greedy` and `forecast-aware` (carbon-aware).
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("uniform", || Box::new(UniformPolicy))
+            .expect("empty registry");
+        reg.register("random", || Box::new(RandomPolicy))
+            .expect("fresh name");
+        reg.register("round-robin", || Box::new(RoundRobinPolicy))
+            .expect("fresh name");
+        reg.register("smallest-queue", || Box::new(SmallestQueuePolicy))
+            .expect("fresh name");
+        reg.register("carbon-greedy", || {
+            Box::new(GreedyCarbonPolicy {
+                name: "carbon-greedy",
+                use_forecast: false,
+            })
+        })
+        .expect("fresh name");
+        reg.register("forecast-aware", || {
+            Box::new(GreedyCarbonPolicy {
+                name: "forecast-aware",
+                use_forecast: true,
+            })
+        })
+        .expect("fresh name");
+        reg
+    }
+
+    /// Registers a policy under `name`. Fails (leaving the registry
+    /// unchanged) when the name is taken — policy names are identities a
+    /// config refers to, silently shadowing one would corrupt it.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn RoutePolicy> + Send + Sync + 'static,
+    ) -> Result<(), DuplicatePolicy> {
+        let name = name.into();
+        if self.contains(&name) {
+            return Err(DuplicatePolicy(name));
+        }
+        self.entries.push((name, Arc::new(factory)));
+        Ok(())
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|(n, _)| n == name)
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<String> {
+        self.entries.iter().map(|(n, _)| n.clone()).collect()
+    }
+
+    /// Builds a fresh policy instance for `name`.
+    pub fn build(&self, name: &str) -> Result<Box<dyn RoutePolicy>, UnknownPolicy> {
+        match self.entries.iter().find(|(n, _)| n == name) {
+            Some((_, factory)) => Ok(factory()),
+            None => Err(UnknownPolicy {
+                name: name.to_string(),
+                known: self.names(),
+            }),
+        }
+    }
+}
+
+/// The process-wide registry router configs resolve policies through,
+/// initialized with the six builtins on first use.
+fn global_registry() -> &'static RwLock<RoutePolicyRegistry> {
+    static GLOBAL: OnceLock<RwLock<RoutePolicyRegistry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(RoutePolicyRegistry::with_builtins()))
+}
+
+/// Registers a policy in the process-wide registry, making it addressable
+/// from any [`crate::RouterConfig`] by name.
+pub fn register_route_policy(
+    name: impl Into<String>,
+    factory: impl Fn() -> Box<dyn RoutePolicy> + Send + Sync + 'static,
+) -> Result<(), DuplicatePolicy> {
+    global_registry()
+        .write()
+        .expect("route policy registry poisoned")
+        .register(name, factory)
+}
+
+/// The names currently registered in the process-wide registry.
+pub fn registered_route_policies() -> Vec<String> {
+    global_registry()
+        .read()
+        .expect("route policy registry poisoned")
+        .names()
+}
+
+/// Builds the policy registered under `name` via the process-wide registry.
+pub fn try_make_route_policy(name: &str) -> Result<Box<dyn RoutePolicy>, UnknownPolicy> {
+    global_registry()
+        .read()
+        .expect("route policy registry poisoned")
+        .build(name)
+}
+
+/// Like [`try_make_route_policy`], panicking on an unknown name (the
+/// router runtime's path: an unresolvable config is a caller bug).
+pub fn make_route_policy(name: &str) -> Box<dyn RoutePolicy> {
+    try_make_route_policy(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use clover_core::EpochSchedule;
+
+    fn snap(index: usize, up: bool, ci: f64, queued: u64, cap: f64) -> RegionSnapshot {
+        RegionSnapshot {
+            index,
+            label: format!("r{index}"),
+            up,
+            ci_now_g_per_kwh: ci,
+            ci_forecast_g_per_kwh: ci,
+            queued,
+            in_flight: 0,
+            active_gpus: 4,
+            capacity_rps: cap,
+            energy_per_request_j: 0.0,
+            prev_weight: 0.0,
+        }
+    }
+
+    fn ctx_weights(
+        policy: &mut dyn RoutePolicy,
+        regions: &[RegionSnapshot],
+        demand: f64,
+        penalty: f64,
+    ) -> Vec<f64> {
+        let schedule = EpochSchedule::new(1.0, 3600.0);
+        let epoch = schedule.iter().next().unwrap();
+        let mut rng = SimRng::new(7);
+        policy.weights(&mut RouteCtx {
+            epoch: &epoch,
+            regions,
+            demand_rps: demand,
+            demand_peak_rps: demand,
+            transfer_latency_s: 0.08,
+            max_region_utilization: 0.85,
+            penalty_g_per_kwh: penalty,
+            rng: &mut rng,
+        })
+    }
+
+    #[test]
+    fn builtin_names_resolve() {
+        for name in [
+            "uniform",
+            "random",
+            "round-robin",
+            "smallest-queue",
+            "carbon-greedy",
+            "forecast-aware",
+        ] {
+            assert_eq!(make_route_policy(name).name(), name);
+        }
+        assert!(try_make_route_policy("nope").is_err());
+    }
+
+    #[test]
+    fn carbon_greedy_moves_share_toward_clean_regions_within_caps() {
+        let regions = vec![
+            snap(0, true, 300.0, 0, 400.0),
+            snap(1, true, 100.0, 0, 400.0),
+            snap(2, true, 280.0, 0, 400.0),
+        ];
+        let mut p = make_route_policy("carbon-greedy");
+        // Demand 600 rps, cap share = 0.85*400/600 ≈ 0.567: the clean
+        // region absorbs up to its ceiling, the dirty two keep the rest.
+        let w = ctx_weights(p.as_mut(), &regions, 600.0, 25.0);
+        let total: f64 = w.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+        assert!(w[1] > w[0] && w[1] > w[2], "{w:?}");
+        assert!(w[1] <= 0.85 * 400.0 / 600.0 + 1e-12, "{w:?}");
+    }
+
+    #[test]
+    fn carbon_greedy_stays_home_when_spread_is_below_the_penalty() {
+        let regions = vec![
+            snap(0, true, 210.0, 0, 400.0),
+            snap(1, true, 200.0, 0, 400.0),
+        ];
+        let mut p = make_route_policy("carbon-greedy");
+        let w = ctx_weights(p.as_mut(), &regions, 400.0, 25.0);
+        assert_eq!(w, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn smallest_queue_prefers_the_empty_region() {
+        let regions = vec![
+            snap(0, true, 200.0, 500, 400.0),
+            snap(1, true, 200.0, 0, 400.0),
+        ];
+        let mut p = make_route_policy("smallest-queue");
+        let w = ctx_weights(p.as_mut(), &regions, 400.0, 25.0);
+        assert!(w[1] > w[0]);
+    }
+
+    #[test]
+    fn round_robin_rotates_over_live_regions_only() {
+        let regions = vec![
+            snap(0, false, 200.0, 0, 400.0),
+            snap(1, true, 200.0, 0, 400.0),
+            snap(2, true, 200.0, 0, 400.0),
+        ];
+        let schedule = EpochSchedule::new(2.0, 3600.0);
+        let mut p = make_route_policy("round-robin");
+        let mut rng = SimRng::new(7);
+        let picks: Vec<Vec<f64>> = schedule
+            .iter()
+            .map(|epoch| {
+                p.weights(&mut RouteCtx {
+                    epoch: &epoch,
+                    regions: &regions,
+                    demand_rps: 400.0,
+                    demand_peak_rps: 400.0,
+                    transfer_latency_s: 0.08,
+                    max_region_utilization: 0.85,
+                    penalty_g_per_kwh: 25.0,
+                    rng: &mut rng,
+                })
+            })
+            .collect();
+        assert_eq!(picks[0], vec![0.0, 1.0, 0.0]);
+        assert_eq!(picks[1], vec![0.0, 0.0, 1.0]);
+    }
+}

@@ -312,6 +312,45 @@ impl ServingCarry {
     pub fn is_empty(&self) -> bool {
         self.queue_ages_s.is_empty() && self.in_flight.is_empty()
     }
+
+    /// Removes up to `n` of the *youngest* waiting requests for migration
+    /// to another cluster, returning their ages (oldest first, like the
+    /// queue itself). The oldest requests stay put: they are closest to
+    /// local service, and shipping them would pay the transfer latency on
+    /// exactly the work least able to afford it. In-flight requests are
+    /// never taken — their partial service belongs to this cluster.
+    pub fn take_queued_newest(&mut self, n: usize) -> Vec<f64> {
+        let keep = self.queue_ages_s.len().saturating_sub(n);
+        self.queue_ages_s.split_off(keep)
+    }
+
+    /// Empties the carry entirely for migration — a cluster going dark
+    /// hands *everything* over. Queued requests keep their ages; in-flight
+    /// requests lose their partial service (the instances holding them no
+    /// longer exist) and contribute their ages alone. Returns the combined
+    /// ages oldest-first and leaves the carry a cold start.
+    pub fn drain_for_migration(&mut self) -> Vec<f64> {
+        let mut ages = std::mem::take(&mut self.queue_ages_s);
+        ages.extend(self.in_flight.drain(..).map(|r| r.age_s));
+        self.deployment = None;
+        ages.sort_by(|a, b| b.partial_cmp(a).expect("finite request ages"));
+        ages
+    }
+
+    /// Merges migrated requests into the waiting queue, preserving the
+    /// oldest-first order the continuous restore path relies on. The
+    /// caller has already added any inter-cluster transfer latency to the
+    /// ages; requests only ever *gain* age in transit, so a migrated
+    /// request can never jump ahead of local work it was younger than.
+    /// The in-flight set and its deployment binding are untouched.
+    pub fn absorb_queued(&mut self, ages: &[f64]) {
+        if ages.is_empty() {
+            return;
+        }
+        self.queue_ages_s.extend_from_slice(ages);
+        self.queue_ages_s
+            .sort_by(|a, b| b.partial_cmp(a).expect("finite request ages"));
+    }
 }
 
 /// Discrete-event simulator for one deployment of one application.

@@ -1,51 +1,79 @@
-//! Where should the green replica go? Comparing grids and seasons.
+//! One service, three grids: the global router end to end.
 //!
-//! Runs the same Clover-managed service against the three grid traces of
-//! the paper (California in March and September, Great Britain in March)
-//! and reports absolute carbon, not just relative savings — the numbers a
-//! sustainability report would quote.
+//! Stands up a regional fleet on each of the paper's grid traces
+//! (California in March and September, Great Britain in March) and lets
+//! the global router split live traffic across them each control epoch,
+//! once per routing policy. The interesting comparison is the carbon-aware
+//! policies against `uniform` — the latter *is* per-region-local serving,
+//! each region keeping its origin share of traffic.
+//!
+//! Regions run the carbon-unaware `Base` scheme locally so the table
+//! isolates what *spatial* arbitrage alone buys; `fig_georouting` shows
+//! the interaction with Clover's local (temporal) adaptation, which
+//! harvests most of the same dips.
 //!
 //! ```sh
 //! cargo run --release --example multi_region
 //! ```
 
-use clover::carbon::estimate::SavingsEstimate;
-use clover::carbon::Region;
-use clover::core::experiment::{Experiment, ExperimentConfig};
+use clover::core::autoscale::ScalingPolicy;
 use clover::core::schedulers::SchemeKind;
 use clover::models::zoo::Application;
+use clover::router::{registered_route_policies, GlobalRouter, RouterConfig};
 
 fn main() {
     let app = Application::LanguageModeling;
-    println!("Clover serving {app} for 24 simulated hours, per region:");
+    let policies = registered_route_policies();
+    println!("Global router serving {app} across 3 regions for 12 simulated hours:");
     println!(
-        "{:<22} {:>12} {:>12} {:>12} {:>14}",
-        "region", "kg CO2", "saved %", "acc loss %", "car-km avoided"
+        "{:<16} {:>10} {:>10} {:>8} {:>9} {:>10} {:>9}",
+        "policy", "kg CO2", "p95 (s)", "SLA", "migrated", "mean gpus", "weights"
     );
-    for region in Region::ALL {
-        let cfg = ExperimentConfig::builder(app)
-            .scheme(SchemeKind::Clover)
-            .region(region)
-            .n_gpus(6)
-            .horizon_hours(24.0)
-            .sim_window_s(60.0)
+    let mut uniform_carbon = None;
+    for policy in &policies {
+        let cfg = RouterConfig::builder(app)
+            .policy(policy.clone())
+            .scheme(SchemeKind::Base)
+            .n_gpus_per_region(4)
+            .min_gpus(1)
+            .scaling(ScalingPolicy::reactive())
+            .horizon_hours(12.0)
+            .utilization(0.6)
+            .sla_headroom(2.0)
             .seed(31)
             .build();
-        let out = Experiment::new(cfg).run();
-        // Scale the measured per-request saving to this run's daily volume.
-        let daily_requests = out.rate_rps * 24.0 * 3600.0;
-        let est =
-            SavingsEstimate::from_per_request(out.saving_g_per_request.max(0.0), daily_requests);
+        let out = GlobalRouter::new(cfg).run();
+        assert_eq!(
+            out.conservation_leak, 0,
+            "global conservation must hold for {policy}"
+        );
+        assert_eq!(out.boundary_leak, 0, "boundary law must hold for {policy}");
+        if policy == "uniform" {
+            uniform_carbon = Some(out.total_carbon_g);
+        }
+        let weights = out
+            .mean_weights
+            .iter()
+            .map(|w| format!("{w:.2}"))
+            .collect::<Vec<_>>()
+            .join("/");
         println!(
-            "{:<22} {:>12.2} {:>12.1} {:>12.2} {:>14.1}",
-            region.to_string(),
+            "{:<16} {:>10.2} {:>10.3} {:>8} {:>9} {:>10.1} {:>9}",
+            out.policy,
             out.total_carbon_g / 1e3,
-            out.carbon_saving_pct,
-            out.accuracy_loss_pct,
-            est.gasoline_car_km
+            out.p95_s,
+            if out.sla_met { "met" } else { "MISS" },
+            out.migrated_requests,
+            out.mean_active_gpus,
+            weights
         );
     }
-    println!();
-    println!("Wind-heavy grids (ESO) reward carbon-awareness differently from solar");
-    println!("duck curves (CISO): the controller re-optimizes on each >5% swing.");
+    if let Some(base) = uniform_carbon {
+        println!();
+        println!(
+            "uniform == per-region-local serving ({:.2} kg CO2); carbon-aware",
+            base / 1e3
+        );
+        println!("routing chases clean energy across grids whose curves are out of phase.");
+    }
 }

@@ -14,6 +14,8 @@
 //!   MMPP, flash-crowd, trace replay), workload descriptors, demand forecasts
 //! - [`serving`] — inference serving simulator (queue, dispatch, metrics)
 //! - [`core`] — the Clover optimizer, controller, and competing schemes
+//! - [`router`] — geo-distributed serving: regional fleets and the global
+//!   carbon-aware traffic router with its pluggable policy registry
 //! - [`telemetry`] — determinism-safe observability: metric registry
 //!   (JSON / Prometheus exposition), control-plane decision journal
 //!   (JSONL), and phase profiling
@@ -42,6 +44,7 @@ pub use clover_carbon as carbon;
 pub use clover_core as core;
 pub use clover_mig as mig;
 pub use clover_models as models;
+pub use clover_router as router;
 pub use clover_serving as serving;
 pub use clover_simkit as simkit;
 pub use clover_telemetry as telemetry;

@@ -285,3 +285,32 @@ fn carbon_gaps_surface_as_fallback_journal_events() {
         "no epoch fell back to the reference intensity past the age cap"
     );
 }
+
+#[test]
+fn region_outages_are_inert_for_single_cluster_experiments() {
+    // `RegionOutage` is a router-level fault: a single-cluster experiment
+    // has no regions to take dark, so carrying the spec must not perturb
+    // the run — not even through RNG stream consumption.
+    let with_outage = ChaosConfig::off().with(FaultSpec::RegionOutage {
+        region: 0,
+        start_h: 1.0,
+        duration_h: 2.0,
+    });
+    let cfg = |chaos: ChaosConfig| {
+        ExperimentConfig::builder(Application::ImageClassification)
+            .scheme(SchemeKind::Clover)
+            .chaos(chaos)
+            .n_gpus(4)
+            .horizon_hours(6.0)
+            .sim_window_s(20.0)
+            .seed(3)
+            .build()
+    };
+    let clean = Experiment::new(cfg(ChaosConfig::off())).run();
+    let outaged = Experiment::new(cfg(with_outage)).run();
+    assert_eq!(
+        clean.digest(),
+        outaged.digest(),
+        "a RegionOutage spec must be a bit-identical no-op off the router"
+    );
+}

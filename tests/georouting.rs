@@ -1,0 +1,229 @@
+//! Integration tests for the geo-distributed router: determinism of
+//! multi-region runs, global request conservation, outage failover, and
+//! the open end of the routing-policy surface.
+//!
+//! Five properties are pinned here:
+//!
+//! 1. **Multi-region runs are reproducible.** The same `RouterConfig`
+//!    produces byte-identical digests run to run, and a grid of router
+//!    cells is byte-identical serial vs parallel — journals included.
+//! 2. **Requests are conserved globally.** Over any run,
+//!    `arrived == served + dropped + final backlog + in transit`, and the
+//!    router's own per-epoch leak counters stay at exactly zero.
+//! 3. **A region outage fails over, it does not lose work.** The dark
+//!    region's backlog migrates to survivors, its weight pins to zero
+//!    while it is down, and conservation still closes.
+//! 4. **One region degenerates to the single-cluster shape.** A
+//!    single-region "fleet" routes weight 1.0 to itself every epoch.
+//! 5. **The policy surface is open.** A custom policy registered at
+//!    runtime drives a full router run; re-registering a builtin name is
+//!    rejected.
+
+use clover::carbon::regions::Region;
+use clover::core::autoscale::ScalingPolicy;
+use clover::core::chaos::{ChaosConfig, FaultSpec};
+use clover::core::schedulers::SchemeKind;
+use clover::models::zoo::Application;
+use clover::router::{
+    register_route_policy, try_make_route_policy, GlobalRouter, RouteCtx, RoutePolicy, RouterConfig,
+};
+use clover::telemetry::TelemetrySpec;
+
+/// A small-but-live router cell: three regions, sub-hour epochs, reactive
+/// fleets — every router code path (planning, serving, snapshots,
+/// rebalancing) runs, in seconds of wall time.
+fn quick(policy: &str) -> RouterConfig {
+    RouterConfig::builder(Application::LanguageModeling)
+        .policy(policy)
+        .scheme(SchemeKind::Base)
+        .scaling(ScalingPolicy::reactive())
+        .control_epoch_s(600.0)
+        .n_gpus_per_region(2)
+        .min_gpus(1)
+        .horizon_hours(4.0)
+        .utilization(0.6)
+        .sla_headroom(2.0)
+        .seed(11)
+        .build()
+}
+
+#[test]
+fn same_config_reruns_are_bit_identical() {
+    let a = GlobalRouter::new(quick("carbon-greedy")).run();
+    let b = GlobalRouter::new(quick("carbon-greedy")).run();
+    assert_eq!(
+        a.digest(),
+        b.digest(),
+        "identical router configs must reproduce bit-identically"
+    );
+}
+
+#[test]
+fn router_grid_is_bit_identical_serial_vs_parallel() {
+    let configs = || -> Vec<RouterConfig> {
+        [
+            "uniform",
+            "smallest-queue",
+            "carbon-greedy",
+            "forecast-aware",
+        ]
+        .into_iter()
+        .map(quick)
+        .collect()
+    };
+    let serial = GlobalRouter::run_cells_with(configs(), 1, TelemetrySpec::JOURNAL);
+    let parallel = GlobalRouter::run_cells_with(configs(), 4, TelemetrySpec::JOURNAL);
+    for ((s, sr), (p, pr)) in serial.iter().zip(parallel.iter()) {
+        assert_eq!(
+            s.digest(),
+            p.digest(),
+            "{}: router run diverged across thread counts",
+            s.policy
+        );
+        assert_eq!(
+            sr.journal.as_ref().map(|j| j.as_str()),
+            pr.journal.as_ref().map(|j| j.as_str()),
+            "{}: decision journals diverged across thread counts",
+            s.policy
+        );
+    }
+}
+
+#[test]
+fn requests_are_conserved_globally() {
+    for policy in ["uniform", "round-robin", "carbon-greedy"] {
+        let out = GlobalRouter::new(quick(policy)).run();
+        assert_eq!(out.conservation_leak, 0, "{policy}: serve-law leak");
+        assert_eq!(out.boundary_leak, 0, "{policy}: boundary-law leak");
+        let last = out.timeline.last().expect("nonempty timeline");
+        assert_eq!(
+            out.arrived,
+            out.served + out.dropped + last.backlog + last.in_transit,
+            "{policy}: arrivals not accounted for (arrived {}, served {}, \
+             dropped {}, backlog {}, in transit {})",
+            out.arrived,
+            out.served,
+            out.dropped,
+            last.backlog,
+            last.in_transit
+        );
+    }
+}
+
+#[test]
+fn a_region_outage_fails_over_without_losing_work() {
+    let mut cfg = quick("carbon-greedy");
+    cfg.chaos = ChaosConfig::off().with(FaultSpec::RegionOutage {
+        region: 1,
+        start_h: 1.0,
+        duration_h: 1.5,
+    });
+    let out = GlobalRouter::new(cfg).run();
+    assert!(out.outage_epochs > 0, "the outage must register");
+    assert!(
+        out.migrated_requests > 0,
+        "the drained backlog must migrate to survivors"
+    );
+    for pt in &out.timeline {
+        if pt.down[1] {
+            assert_eq!(
+                pt.weights[1], 0.0,
+                "epoch {}: a dark region must carry no traffic",
+                pt.epoch
+            );
+        }
+    }
+    assert!(
+        out.timeline.iter().any(|pt| pt.down[1]),
+        "the timeline must record the dark epochs"
+    );
+    assert!(
+        out.timeline.last().map(|pt| !pt.down[1]).unwrap(),
+        "the region must come back before the horizon ends"
+    );
+    assert_eq!(
+        out.conservation_leak, 0,
+        "conservation must survive the outage"
+    );
+    assert_eq!(out.boundary_leak, 0, "boundary law must survive the outage");
+}
+
+#[test]
+fn a_single_region_fleet_degenerates_to_weight_one() {
+    let mut cfg = RouterConfig::builder(Application::LanguageModeling)
+        .regions(vec![Region::EsoMarch])
+        .policy("carbon-greedy")
+        .scheme(SchemeKind::Base)
+        .control_epoch_s(600.0)
+        .n_gpus_per_region(2)
+        .min_gpus(1)
+        .horizon_hours(2.0)
+        .utilization(0.6)
+        .sla_headroom(2.0)
+        .seed(5)
+        .build();
+    cfg.scaling = ScalingPolicy::Static;
+    let out = GlobalRouter::new(cfg).run();
+    assert!(out.served > 0, "a one-region fleet still serves");
+    for pt in &out.timeline {
+        assert_eq!(
+            pt.weights,
+            vec![1.0],
+            "epoch {}: weight must be 1.0",
+            pt.epoch
+        );
+    }
+    assert_eq!(out.migrated_requests, 0, "nowhere to migrate to");
+    assert_eq!(out.conservation_leak, 0);
+}
+
+/// Sends everything to the region with the lowest instantaneous
+/// intensity — a deliberately extreme custom policy.
+struct ChaseCleanest;
+
+impl RoutePolicy for ChaseCleanest {
+    fn name(&self) -> &str {
+        "chase-cleanest"
+    }
+
+    fn weights(&mut self, ctx: &mut RouteCtx<'_>) -> Vec<f64> {
+        let mut w = vec![0.0; ctx.regions.len()];
+        let cleanest = ctx
+            .regions
+            .iter()
+            .filter(|r| r.up)
+            .min_by(|a, b| {
+                a.ci_now_g_per_kwh
+                    .partial_cmp(&b.ci_now_g_per_kwh)
+                    .unwrap()
+                    .then(a.index.cmp(&b.index))
+            })
+            .map(|r| r.index);
+        if let Some(i) = cleanest {
+            w[i] = 1.0;
+        }
+        w
+    }
+}
+
+#[test]
+fn the_policy_surface_is_open_and_guarded() {
+    register_route_policy("chase-cleanest", || Box::new(ChaseCleanest))
+        .expect("fresh name registers");
+    let out = GlobalRouter::new(quick("chase-cleanest")).run();
+    assert_eq!(out.policy, "chase-cleanest");
+    assert!(out.served > 0);
+    assert_eq!(out.conservation_leak, 0);
+    // Exactly one region carries each epoch.
+    for pt in &out.timeline {
+        let live: Vec<f64> = pt.weights.iter().copied().filter(|&w| w > 0.0).collect();
+        assert_eq!(live, vec![1.0], "epoch {}: winner-take-all", pt.epoch);
+    }
+
+    register_route_policy("uniform", || Box::new(ChaseCleanest))
+        .expect_err("builtin names must not be shadowed");
+    assert!(
+        try_make_route_policy("no-such-policy").is_err(),
+        "unknown names must not resolve"
+    );
+}
