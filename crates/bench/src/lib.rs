@@ -17,6 +17,15 @@
 
 #![warn(missing_docs)]
 
+/// Schema tag written into `BENCH_engine.json` by the `perf_report` binary.
+///
+/// Single source of truth: the emitter writes it, the artifact-freshness
+/// test (`crates/bench/tests/bench_artifact.rs`) and the CI schema-match
+/// step compare the checked-in artifact against it. Bump this whenever the
+/// artifact's shape changes so a stale checked-in ledger fails loudly
+/// instead of silently advertising fields no code emits.
+pub const BENCH_SCHEMA: &str = "clover.bench.engine.v3";
+
 pub mod harness;
 
 pub use harness::*;

@@ -1,0 +1,38 @@
+//! Freshness gate for the checked-in `BENCH_engine.json`: the artifact in
+//! the repo root must carry the schema tag the `perf_report` emitter
+//! actually writes. A stale artifact — checked in from a branch that never
+//! merged, or left behind after a schema bump — advertises fields no code
+//! at HEAD emits, and every claim built on it is unauditable. This test
+//! (and the matching grep step in CI's perf job) makes that state a hard
+//! failure instead of a silent lie.
+
+use clover_bench::BENCH_SCHEMA;
+
+fn artifact() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("checked-in BENCH_engine.json missing or unreadable: {e}"))
+}
+
+#[test]
+fn checked_in_artifact_matches_emitter_schema() {
+    let text = artifact();
+    let tag = format!("\"schema\": \"{BENCH_SCHEMA}\"");
+    assert!(
+        text.contains(&tag),
+        "BENCH_engine.json does not carry the emitter's schema tag {BENCH_SCHEMA:?}; \
+         regenerate it with `cargo run --release -p clover-bench --bin perf_report`"
+    );
+}
+
+#[test]
+fn checked_in_artifact_reports_shards_per_grid() {
+    let text = artifact();
+    let grids = text.matches("\"name\": ").count();
+    let shards = text.matches("\"intra_epoch_shards\": ").count();
+    assert!(grids >= 5, "expected at least the five standard grids");
+    assert_eq!(
+        grids, shards,
+        "every grid entry must state its intra-epoch shard count"
+    );
+}

@@ -154,6 +154,13 @@ pub struct ExperimentConfig {
     /// every fault-free digest bit-identical to the pre-chaos pins; see
     /// [`crate::chaos`]).
     pub chaos: ChaosConfig,
+    /// Intra-epoch DES shards under [`Fidelity::FullEpoch`] (default 1 —
+    /// the classic single-queue engine, bit-identical to every recorded
+    /// digest). With 2+ shards each continuous epoch runs as a sharded-
+    /// producer system whose results are invariant to worker-thread count;
+    /// see `clover_serving::sim::shard`. No effect on representative
+    /// windows.
+    pub des_shards: usize,
 }
 
 impl ExperimentConfig {
@@ -182,9 +189,25 @@ impl ExperimentConfig {
                 sa: SaParams::default(),
                 search_budget: SearchBudget::epoch_scaled(),
                 chaos: ChaosConfig::off(),
+                des_shards: 1,
             },
             window_override: None,
         }
+    }
+
+    /// A deterministic relative cost estimate of running this cell —
+    /// simulated serving seconds times fleet size, a proxy for DES event
+    /// volume. Used as the [`clover_simkit::par_map_lpt`] weight so a grid
+    /// mixing full-epoch and representative-window cells claims its
+    /// heaviest cells first instead of stranding one 10M-event cell on a
+    /// drained pool.
+    pub fn cost_weight(&self) -> f64 {
+        let epochs = (self.horizon_hours * 3600.0 / self.control_epoch_s).max(1.0);
+        let per_epoch_s = match self.fidelity {
+            Fidelity::FullEpoch => self.control_epoch_s,
+            Fidelity::RepresentativeWindow { window_s } => window_s,
+        };
+        epochs * per_epoch_s * self.n_gpus as f64
     }
 }
 
@@ -332,6 +355,16 @@ impl ExperimentConfigBuilder {
         self
     }
 
+    /// Sets the intra-epoch DES shard count for [`Fidelity::FullEpoch`]
+    /// runs (default 1, the classic single-queue engine). Validated at
+    /// [`Self::build`]: must be positive, and 2+ shards require full-epoch
+    /// fidelity — a representative window never shards, so asking for it
+    /// would silently measure different physics than requested.
+    pub fn des_shards(mut self, n: usize) -> Self {
+        self.cfg.des_shards = n;
+        self
+    }
+
     /// Finalizes the configuration.
     ///
     /// # Panics
@@ -425,6 +458,17 @@ impl ExperimentConfigBuilder {
         if let Err(e) = cfg.chaos.validate() {
             panic!("experiment config: {e}");
         }
+        assert!(
+            cfg.des_shards >= 1,
+            "experiment config: des_shards must be at least 1 (1 = the classic unsharded engine)"
+        );
+        assert!(
+            cfg.des_shards == 1 || matches!(cfg.fidelity, Fidelity::FullEpoch),
+            "experiment config: des_shards ({}) above 1 requires Fidelity::FullEpoch — \
+             representative windows always run the classic single-queue engine, so the request \
+             would be silently ignored",
+            cfg.des_shards
+        );
         self.cfg
     }
 }
@@ -663,6 +707,11 @@ pub struct Experiment {
     pub objective: Objective,
     /// Measured BASE energy per request at calibration, joules.
     pub base_energy_per_request_j: f64,
+    /// Worker-thread cap handed to the sharded continuous engine
+    /// (`None` defers to [`clover_simkit::default_threads`]). Grid runners
+    /// set this to their per-cell budget so cell-level and intra-epoch
+    /// parallelism share one thread pool size instead of multiplying.
+    shard_threads: Option<usize>,
 }
 
 impl Experiment {
@@ -731,12 +780,21 @@ impl Experiment {
             workload,
             objective,
             base_energy_per_request_j: base_energy,
+            shard_threads: None,
         }
     }
 
     /// The configuration this experiment runs.
     pub fn config(&self) -> &ExperimentConfig {
         &self.cfg
+    }
+
+    /// Caps the worker threads the intra-epoch sharded engine may use for
+    /// this experiment (`None`, the default, defers to
+    /// [`clover_simkit::default_threads`]). Thread count never affects
+    /// results — only wall-clock.
+    pub fn set_shard_threads(&mut self, threads: Option<usize>) {
+        self.shard_threads = threads;
     }
 
     /// Runs one experiment cell per config on `threads` worker threads,
@@ -746,8 +804,35 @@ impl Experiment {
     /// `ExperimentConfig::seed`, so the parallel grid is **byte-identical**
     /// to running the configs serially (pinned by
     /// `tests/par_determinism.rs`); `threads <= 1` *is* the serial run.
+    ///
+    /// Dispatch is LPT ([`clover_simkit::par_map_lpt`] over
+    /// [`ExperimentConfig::cost_weight`]): the heaviest cells are claimed
+    /// first so one full-epoch cell cannot strand itself behind a drained
+    /// pool of light windows. Each cell's sharded continuous engine (if
+    /// its config asks for shards) is budgeted `threads / n_cells` workers
+    /// — the serial reference run (`threads = 1`) therefore runs its
+    /// shards serially too, keeping the serial-vs-parallel comparison an
+    /// honest same-work measurement.
     pub fn run_cells(configs: Vec<ExperimentConfig>, threads: usize) -> Vec<ExperimentOutcome> {
-        clover_simkit::par_map(configs, threads, |cfg| Experiment::new(cfg).run())
+        let shard_threads = Self::shard_thread_budget(threads, configs.len());
+        clover_simkit::par_map_lpt(
+            configs,
+            threads,
+            ExperimentConfig::cost_weight,
+            move |cfg| {
+                let mut e = Experiment::new(cfg);
+                e.set_shard_threads(Some(shard_threads));
+                e.run()
+            },
+        )
+    }
+
+    /// Per-cell worker budget for intra-epoch sharding: the grid's thread
+    /// pool divided across its cells, floored at 1 (so `threads = 1` is
+    /// serial all the way down, and a single-cell "grid" hands the whole
+    /// pool to that cell's shards).
+    fn shard_thread_budget(threads: usize, n_cells: usize) -> usize {
+        (threads.max(1) / n_cells.max(1)).max(1)
     }
 
     /// [`Experiment::run_cells`] with telemetry: each cell builds its own
@@ -764,11 +849,19 @@ impl Experiment {
         threads: usize,
         spec: TelemetrySpec,
     ) -> Vec<(ExperimentOutcome, TelemetryReport)> {
-        clover_simkit::par_map(configs, threads, move |cfg| {
-            let mut telemetry = Telemetry::new(spec);
-            let out = Experiment::new(cfg).run_with(&mut telemetry);
-            (out, telemetry.take_report())
-        })
+        let shard_threads = Self::shard_thread_budget(threads, configs.len());
+        clover_simkit::par_map_lpt(
+            configs,
+            threads,
+            ExperimentConfig::cost_weight,
+            move |cfg| {
+                let mut telemetry = Telemetry::new(spec);
+                let mut e = Experiment::new(cfg);
+                e.set_shard_threads(Some(shard_threads));
+                let out = e.run_with(&mut telemetry);
+                (out, telemetry.take_report())
+            },
+        )
     }
 
     /// Multi-seed entry point: runs `cfg` once per seed (overriding
@@ -878,6 +971,12 @@ impl Experiment {
         let base_ref = Deployment::base(&self.family, cfg.reference_gpus);
         let mut base_sim =
             ServingSim::new(self.family.clone(), self.perf, base_ref, cfg.seed ^ 0x22);
+        // Intra-epoch sharding (continuous epochs only; the default of 1
+        // keeps both simulators on the classic engine, digests unchanged).
+        sim.set_intra_epoch_shards(cfg.des_shards);
+        base_sim.set_intra_epoch_shards(cfg.des_shards);
+        sim.set_shard_threads(self.shard_threads);
+        base_sim.set_shard_threads(self.shard_threads);
 
         let mut hist = LatencyHistogram::for_latency();
         let mut base_hist = LatencyHistogram::for_latency();

@@ -654,13 +654,22 @@ impl OracleScheduler {
         n_gpus: usize,
         rate_rps: f64,
     ) -> Vec<ProfiledConfig> {
-        enumerate_standardized(ctx.family, n_gpus)
-            .into_iter()
-            .enumerate()
-            .map(|(i, deployment)| {
+        // Embarrassingly parallel: each candidate owns its seed
+        // (`0xACE1 + i`) and a fresh simulator, and `par_map` deposits
+        // results at submission index — so the profile is byte-identical
+        // to the old serial enumeration at any thread count (including the
+        // recorded digest pins).
+        let candidates = enumerate_standardized(ctx.family, n_gpus);
+        let family = ctx.family;
+        let perf = *ctx.perf;
+        let indexed: Vec<(usize, Deployment)> = candidates.into_iter().enumerate().collect();
+        clover_simkit::par_map(
+            indexed,
+            clover_simkit::default_threads(),
+            move |(i, deployment)| {
                 let mut sim = ServingSim::new(
-                    ctx.family.clone(),
-                    *ctx.perf,
+                    family.clone(),
+                    perf,
                     deployment.clone(),
                     0xACE1_u64.wrapping_add(i as u64),
                 );
@@ -670,15 +679,13 @@ impl OracleScheduler {
                     SimDuration::from_secs(DesEvaluator::DEFAULT_WARMUP_S),
                 );
                 let point = MeasuredPoint {
-                    accuracy_pct: m
-                        .accuracy_pct(ctx.family)
-                        .unwrap_or(ctx.family.accuracy_base()),
+                    accuracy_pct: m.accuracy_pct(family).unwrap_or(family.accuracy_base()),
                     energy_per_request_j: m.energy_per_request_j().unwrap_or(1e12),
                     p95_latency_s: m.p95_latency_s.unwrap_or(1e6),
                 };
                 ProfiledConfig { deployment, point }
-            })
-            .collect()
+            },
+        )
     }
 }
 

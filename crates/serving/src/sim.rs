@@ -36,6 +36,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+mod shard;
+pub use shard::ShardSeam;
+
 /// Named RNG sub-streams of one serving window.
 ///
 /// Each window forks one window generator off the simulator's root stream
@@ -50,6 +53,12 @@ pub mod stream {
     /// Service-side randomness: dispatch among idle instances and
     /// service-time jitter.
     pub const SERVICE: u64 = 0x5EB1;
+    /// Base label for per-shard service streams on the sharded continuous
+    /// path: shard `k` derives its service randomness as
+    /// `window.substream(SERVICE).substream(SHARD_SERVICE + k)`, so shards
+    /// draw from independent streams and the engine's output is invariant
+    /// to how shards are scheduled onto worker threads.
+    pub const SHARD_SERVICE: u64 = 0x5A4D;
 }
 
 /// Requests queued beyond this bound are dropped (an overloaded deployment
@@ -131,6 +140,12 @@ pub struct WindowMetrics {
     pub fault_kills: u64,
     /// In-flight requests re-queued because their instance failed.
     pub fault_requeued: u64,
+    /// Per-shard boundary accounting when this window was produced by the
+    /// sharded continuous path ([`ServingSim::set_intra_epoch_shards`] with
+    /// 2+ shards): one entry per shard, each closing the conservation law
+    /// `carried_in + arrived == served + dropped + carried_out` on its own.
+    /// Empty for classic windows and unsharded continuous epochs.
+    pub shard_seams: Vec<ShardSeam>,
 }
 
 impl WindowMetrics {
@@ -367,6 +382,15 @@ pub struct ServingSim {
     profiler: Option<ProfilerHandle>,
     /// Failure schedule consumed by the next window (taken, not kept).
     pending_failures: Vec<InstanceFailure>,
+    /// Shards the continuous epoch path splits one DES epoch across
+    /// (1 = the classic single-queue engine; see `sim::shard`).
+    shards: usize,
+    /// Worker threads for the sharded path; `None` defers to
+    /// [`clover_simkit::default_threads`] when an epoch runs.
+    shard_threads: Option<usize>,
+    /// Reusable per-shard scratches, recycled across epochs exactly like
+    /// the main `scratch`.
+    shard_scratch: Vec<SimScratch>,
 }
 
 impl ServingSim {
@@ -387,7 +411,35 @@ impl ServingSim {
             scratch: SimScratch::new(),
             profiler: None,
             pending_failures: Vec::new(),
+            shards: 1,
+            shard_threads: None,
+            shard_scratch: Vec::new(),
         }
+    }
+
+    /// Sets how many shards the continuous epoch path splits one DES epoch
+    /// across (clamped to at least 1; also capped at the deployment's
+    /// instance count when an epoch runs). The default of 1 keeps the
+    /// classic single-queue engine, bit-identical to every pre-sharding
+    /// digest. With 2+ shards the epoch is a *sharded-producer* system —
+    /// each shard owns a stripe of the instances and a deterministic
+    /// weighted share of the arrivals — whose results are byte-identical
+    /// across any worker-thread count (see `shard` module docs), though not
+    /// identical to the 1-shard physics.
+    pub fn set_intra_epoch_shards(&mut self, shards: usize) {
+        self.shards = shards.max(1);
+    }
+
+    /// The configured intra-epoch shard count.
+    pub fn intra_epoch_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Caps the worker threads the sharded continuous path may use;
+    /// `None` (the default) defers to [`clover_simkit::default_threads`].
+    /// Thread count never affects results — only wall-clock.
+    pub fn set_shard_threads(&mut self, threads: Option<usize>) {
+        self.shard_threads = threads;
     }
 
     /// Schedules injected instance failures for the *next* window only;
@@ -474,12 +526,23 @@ impl ServingSim {
     /// plane applied a reconfiguration at the boundary), carried in-flight
     /// requests rejoin the queue — oldest first, ahead of the waiting
     /// requests — and restart service on the new instances.
+    ///
+    /// With [`ServingSim::set_intra_epoch_shards`] above 1 (and a
+    /// deployment of 2+ instances) the epoch runs on the sharded engine
+    /// instead: instances are striped across shards, arrivals are
+    /// pre-drawn and split deterministically, and the shards execute
+    /// concurrently with an order-preserving merge — same conservation
+    /// law, per-shard seams reported in [`WindowMetrics::shard_seams`].
     pub fn run_epoch_continuous(
         &mut self,
         arrivals: &mut dyn ArrivalProcess,
         epoch: SimDuration,
         carry: ServingCarry,
     ) -> (WindowMetrics, ServingCarry) {
+        let k = self.shards.min(self.deployment.n_instances());
+        if k > 1 {
+            return self.run_epoch_sharded(arrivals, epoch, carry, k);
+        }
         let (metrics, out) = self.run_core(arrivals, epoch, SimDuration::ZERO, Some(carry));
         (
             metrics,
@@ -841,6 +904,7 @@ impl ServingSim {
             conservation_leak,
             fault_kills,
             fault_requeued,
+            shard_seams: Vec::new(),
         };
         (metrics, carry_out)
     }

@@ -31,7 +31,7 @@ pub mod time;
 
 pub use engine::{Process, Simulation};
 pub use events::EventQueue;
-pub use par::{default_threads, par_map, par_map_auto};
+pub use par::{default_threads, par_map, par_map_auto, par_map_lpt};
 pub use quantile::{ExactQuantiles, LatencyHistogram, P2Quantile};
 pub use rng::SimRng;
 pub use stats::{Running, TimeWeighted};

@@ -78,12 +78,69 @@ where
     R: Send,
     F: Fn(T) -> R + Sync,
 {
+    par_map_ordered(items, threads, None, f)
+}
+
+/// [`par_map`] with **LPT (longest-processing-time-first) dispatch**: items
+/// are *claimed* in descending `weight` order (ties broken by submission
+/// index, so the order is deterministic) while results are still deposited
+/// at their submission index.
+///
+/// Use this when item costs are known to be uneven — e.g. an experiment
+/// grid mixing 10M-event `FullEpoch` cells with sub-second representative
+/// windows. Greedy largest-first claiming is the classic LPT list-scheduling
+/// heuristic: starting the heaviest items first bounds makespan at
+/// `(4/3 − 1/3m) × OPT`, whereas submission-order claiming can strand the
+/// heaviest item on an otherwise-drained pool and serialize the whole grid
+/// behind it.
+///
+/// The output is byte-identical to [`par_map`] (and to the serial map) for
+/// any pure closure — only wall-clock scheduling changes, never results or
+/// their order.
+pub fn par_map_lpt<T, R, W, F>(items: Vec<T>, threads: usize, weight: W, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    W: Fn(&T) -> f64,
+    F: Fn(T) -> R + Sync,
+{
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    // Stable descending sort by weight; NaN weights sink to the back so a
+    // degenerate cost model degrades to submission order, not a panic.
+    order.sort_by(|&a, &b| {
+        weight(&items[b])
+            .partial_cmp(&weight(&items[a]))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    par_map_ordered(items, threads, Some(order), f)
+}
+
+/// Shared engine behind [`par_map`] and [`par_map_lpt`]: `claim_order`,
+/// when given, is the permutation in which workers pick up items; deposit
+/// order is always submission order.
+fn par_map_ordered<T, R, F>(
+    items: Vec<T>,
+    threads: usize,
+    claim_order: Option<Vec<usize>>,
+    f: F,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
+    if let Some(order) = &claim_order {
+        debug_assert_eq!(order.len(), n, "claim order must be a permutation");
+    }
     let threads = threads.clamp(1, n);
     if threads == 1 {
+        // Serial reference path: claim order is irrelevant because a single
+        // worker produces identical results either way — run in submission
+        // order and skip the pool entirely.
         return items.into_iter().map(f).collect();
     }
 
@@ -95,6 +152,7 @@ where
     let cursor = AtomicUsize::new(0);
     let abort = AtomicBool::new(false);
     let f = &f;
+    let claim_order = &claim_order;
 
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -105,10 +163,14 @@ where
                         if abort.load(Ordering::Relaxed) {
                             break; // a sibling panicked: stop claiming work
                         }
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
+                        let next = cursor.fetch_add(1, Ordering::Relaxed);
+                        if next >= n {
                             break;
                         }
+                        let i = match claim_order {
+                            Some(order) => order[next],
+                            None => next,
+                        };
                         let item = tasks[i]
                             .lock()
                             .expect("task slot poisoned")
@@ -227,5 +289,53 @@ mod tests {
     #[test]
     fn default_threads_is_positive() {
         assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn lpt_matches_plain_par_map_and_serial() {
+        let items: Vec<u64> = (0..200).collect();
+        let serial: Vec<u64> = items.iter().map(|&i| i.wrapping_mul(0x9E37)).collect();
+        for threads in [1, 2, 4, 8] {
+            let out = par_map_lpt(
+                items.clone(),
+                threads,
+                |&i| (i % 13) as f64, // uneven, repeating weights (ties)
+                |i| i.wrapping_mul(0x9E37),
+            );
+            assert_eq!(out, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lpt_claims_heaviest_first() {
+        // One worker thread over the pool path (2 threads, but record claim
+        // order globally): heaviest item must be claimed before lighter ones
+        // when a single worker drains the queue. Use threads=2 with an
+        // ordering log and verify the *claim sequence* is weight-descending
+        // per the shared cursor (the log is claim-ordered by construction).
+        let log = Mutex::new(Vec::new());
+        let items: Vec<u64> = vec![3, 9, 1, 7, 5];
+        let _ = par_map_lpt(
+            items,
+            2,
+            |&i| i as f64,
+            |i| {
+                log.lock().unwrap().push(i);
+                i
+            },
+        );
+        let mut seen = log.into_inner().unwrap();
+        // Claims may interleave across two workers, but the multiset is
+        // exact and the first claim is always the global heaviest.
+        assert_eq!(seen[0], 9);
+        seen.sort_unstable();
+        assert_eq!(seen, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn lpt_nan_weights_degrade_gracefully() {
+        let items: Vec<u64> = (0..32).collect();
+        let out = par_map_lpt(items, 4, |_| f64::NAN, |i| i + 1);
+        assert_eq!(out, (1..33).collect::<Vec<_>>());
     }
 }

@@ -1,0 +1,120 @@
+//! Pins the intra-epoch DES sharding guarantees end to end: a full-epoch
+//! experiment cell split into K shards produces **byte-identical** outcomes
+//! at every thread count (1, 2, 4, 8) and every shard count (1, 2, 4), for
+//! all five schemes — and every shard seam closes its conservation law
+//! exactly. Together with `tests/par_determinism.rs` (grid-level fan-out)
+//! this is the regression tripwire for the parallel engine: LPT dispatch
+//! may reorder *claiming*, sharding may reorder *execution*, but neither is
+//! allowed to move a single bit of output.
+
+use clover::core::control::Fidelity;
+use clover::core::experiment::{Experiment, ExperimentConfig, ExperimentOutcome};
+use clover::core::schedulers::SchemeKind;
+use clover::models::zoo::Application;
+use clover::models::PerfModel;
+use clover::serving::{Deployment, ServingCarry, ServingSim};
+use clover::simkit::SimDuration;
+use clover::workload::{PoissonProcess, WorkloadKind};
+
+/// One continuous full-epoch cell: the only fidelity the sharded engine
+/// serves (representative windows are too small to shard).
+fn cfg(scheme: SchemeKind, shards: usize) -> ExperimentConfig {
+    ExperimentConfig::builder(Application::ImageClassification)
+        .scheme(scheme)
+        .workload(WorkloadKind::flash_crowd())
+        .fidelity(Fidelity::FullEpoch)
+        .control_epoch_s(300.0)
+        .n_gpus(4)
+        .horizon_hours(0.25)
+        .seed(2023)
+        .des_shards(shards)
+        .build()
+}
+
+/// The full matrix this suite pins: all five schemes × shard counts 1/2/4.
+fn grid() -> Vec<ExperimentConfig> {
+    SchemeKind::ALL
+        .into_iter()
+        .flat_map(|scheme| [1usize, 2, 4].map(|shards| cfg(scheme.clone(), shards)))
+        .collect()
+}
+
+/// The whole scheme × shard-count matrix fanned out as one grid (LPT
+/// claiming over heterogeneous cells) reproduces the serial digests at
+/// every thread count.
+#[test]
+fn sharded_grid_is_bit_identical_across_thread_counts() {
+    let reference: Vec<u64> = Experiment::run_cells(grid(), 1)
+        .iter()
+        .map(ExperimentOutcome::digest)
+        .collect();
+    for threads in [2, 4, 8] {
+        let digests: Vec<u64> = Experiment::run_cells(grid(), threads)
+            .iter()
+            .map(ExperimentOutcome::digest)
+            .collect();
+        assert_eq!(reference, digests, "{threads} threads diverged");
+    }
+}
+
+/// A single sharded cell run alone gets the grid's whole thread budget as
+/// shard threads (`shard_thread_budget = threads / cells`), so this sweep
+/// exercises genuinely concurrent shard execution through the full
+/// experiment stack — and must still match the 1-thread reference bit for
+/// bit.
+#[test]
+fn concurrent_shard_execution_matches_serial() {
+    for scheme in SchemeKind::ALL {
+        let single = vec![cfg(scheme.clone(), 4)];
+        let reference = Experiment::run_cells(single.clone(), 1)[0].digest();
+        for threads in [2, 4, 8] {
+            let got = Experiment::run_cells(single.clone(), threads)[0].digest();
+            assert_eq!(reference, got, "{scheme}: {threads} shard threads diverged");
+        }
+    }
+}
+
+/// Shard count is part of the experiment's physics (independent per-shard
+/// service streams, per-shard queue bounds): K=1 and K=4 are different —
+/// deterministically different — experiments. This pins that nobody
+/// "optimizes" the sharded path into silently reusing the unsharded one.
+#[test]
+fn shard_count_is_part_of_the_configuration() {
+    let unsharded = Experiment::run_cells(vec![cfg(SchemeKind::Clover, 1)], 1)[0].digest();
+    let sharded = Experiment::run_cells(vec![cfg(SchemeKind::Clover, 4)], 1)[0].digest();
+    assert_ne!(
+        unsharded, sharded,
+        "4-shard run unexpectedly reproduced the unsharded digest"
+    );
+}
+
+/// Every shard seam of every epoch closes its conservation law exactly:
+/// `carried_in + arrived == served + dropped + carried_out`, and the
+/// per-shard arrivals sum to the window's.
+#[test]
+fn every_shard_seam_closes_conservation() {
+    let family = Application::ImageClassification.family();
+    let deployment = Deployment::base(&family, 4);
+    let mut sim = ServingSim::new(family, PerfModel::a100(), deployment, 7);
+    sim.set_intra_epoch_shards(4);
+    sim.set_shard_threads(Some(4));
+    let mut carry = ServingCarry::default();
+    for epoch in 0..6 {
+        let mut arrivals = PoissonProcess::new(500.0);
+        let (w, next) =
+            sim.run_epoch_continuous(&mut arrivals, SimDuration::from_secs(45.0), carry);
+        carry = next;
+        assert_eq!(w.shard_seams.len(), 4, "epoch {epoch}: seam count");
+        let mut arrived = 0;
+        for seam in &w.shard_seams {
+            assert_eq!(
+                seam.leak(),
+                0,
+                "epoch {epoch}, shard {}: conservation leak",
+                seam.shard
+            );
+            arrived += seam.arrived;
+        }
+        assert_eq!(arrived, w.arrived, "epoch {epoch}: arrivals split");
+    }
+}
